@@ -1,0 +1,37 @@
+//! Criterion bench for the Step I/II baseline sharders (Section 5): the cost
+//! of producing a greedy plan for the full 397-table model under each cost
+//! function.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recshard_bench::ExperimentConfig;
+use recshard_data::RmKind;
+use recshard_sharding::{GreedySharder, LookupCost, SizeCost, SizeLookupCost};
+use recshard_stats::DatasetProfiler;
+
+fn baselines(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::fast();
+    cfg.profile_samples = 1_500;
+    let model = cfg.model(RmKind::Rm2);
+    let system = cfg.system();
+    let profile = DatasetProfiler::profile_model(&model, cfg.profile_samples, cfg.seed);
+
+    let mut group = c.benchmark_group("baseline_sharders");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("greedy", "size"), &(), |b, _| {
+        b.iter(|| GreedySharder::new(SizeCost).shard(&model, &profile, &system).expect("plan"));
+    });
+    group.bench_with_input(BenchmarkId::new("greedy", "lookup"), &(), |b, _| {
+        b.iter(|| GreedySharder::new(LookupCost).shard(&model, &profile, &system).expect("plan"));
+    });
+    group.bench_with_input(BenchmarkId::new("greedy", "size-lookup"), &(), |b, _| {
+        b.iter(|| {
+            GreedySharder::new(SizeLookupCost)
+                .shard(&model, &profile, &system)
+                .expect("plan")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, baselines);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench backing Table 3 / Figure 11: the cost of simulating one
+//! embedding-operator iteration under each sharding strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use recshard_bench::{ExperimentConfig, Strategy};
+use recshard_data::RmKind;
+use recshard_memsim::EmbeddingOpSimulator;
+use recshard_stats::DatasetProfiler;
+
+fn iteration_time(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::fast();
+    cfg.scale = 8_192;
+    cfg.profile_samples = 1_500;
+    let model = cfg.model(RmKind::Rm2);
+    let system = cfg.system();
+    let profile = DatasetProfiler::profile_model(&model, cfg.profile_samples, cfg.seed);
+
+    let mut group = c.benchmark_group("iteration_time");
+    group.sample_size(10);
+    for strategy in Strategy::all() {
+        let plan = strategy.plan(&model, &profile, &system);
+        let sim = EmbeddingOpSimulator::new(&model, &plan, &profile, &system, cfg.sim_config());
+        group.bench_with_input(
+            BenchmarkId::new("simulate_iteration", strategy.label()),
+            &strategy,
+            |b, _| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                b.iter(|| sim.run_iteration(64, &mut rng));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, iteration_time);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the training-data profiling stage (Section 4.1 /
+//! Section 6.6 overhead): cost of profiling per sample and of deriving the
+//! 100-step ICDFs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use recshard_data::{ModelSpec, SampleGenerator};
+use recshard_stats::DatasetProfiler;
+
+fn profiler(c: &mut Criterion) {
+    let model = ModelSpec::rm1().scaled(8_192);
+    let mut gen = SampleGenerator::new(&model, 3);
+    let batch = gen.batch(256);
+
+    let mut group = c.benchmark_group("profiler");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("profile_256_samples_397_features", |b| {
+        b.iter(|| {
+            let mut profiler = DatasetProfiler::new(&model);
+            profiler.consume_batch(&batch);
+            profiler.finish()
+        });
+    });
+
+    let profile = DatasetProfiler::profile_model(&model, 2_000, 5);
+    group.bench_function("icdf_100_steps_all_tables", |b| {
+        b.iter(|| {
+            profile
+                .profiles()
+                .iter()
+                .map(|p| p.icdf(100).max_rows())
+                .sum::<u64>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, profiler);
+criterion_main!(benches);

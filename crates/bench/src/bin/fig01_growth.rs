@@ -1,0 +1,39 @@
+//! Figure 1: DLRM memory-capacity and bandwidth demand growth (2017–2021)
+//! versus the growth of accelerator HBM capacity and interconnect bandwidth.
+
+use recshard_data::{GrowthTrend, HardwareCatalog};
+
+fn main() {
+    let trend = GrowthTrend::paper_window();
+    let hw = HardwareCatalog::paper_window();
+
+    println!("# Figure 1a: DLRM memory requirement growth vs GPU HBM capacity");
+    println!("| year | model capacity (norm.) | EMB rows (norm.) | bandwidth demand (norm.) |");
+    println!("|------|------------------------|------------------|--------------------------|");
+    for p in trend.points() {
+        println!(
+            "| {} | {:.2}x | {:.2}x | {:.2}x |",
+            p.year, p.model_capacity_growth, p.emb_rows_growth, p.bandwidth_demand_growth
+        );
+    }
+    println!();
+    println!("# Figure 1b: training hardware over the same window");
+    println!("| GPU | year | HBM capacity (GiB) | HBM BW (GB/s) | interconnect BW (GB/s) |");
+    println!("|-----|------|--------------------|---------------|------------------------|");
+    for g in hw.generations() {
+        println!(
+            "| {} | {} | {:.0} | {:.0} | {:.0} |",
+            g.name, g.year, g.hbm_capacity_gib, g.hbm_bandwidth_gbps, g.interconnect_bandwidth_gbps
+        );
+    }
+    println!();
+    println!(
+        "Demand grew {:.1}x (capacity) / {:.1}x (bandwidth) while GPU HBM capacity grew {:.1}x, \
+         HBM bandwidth {:.1}x and interconnect bandwidth {:.1}x — the widening gap motivating RecShard.",
+        trend.capacity_growth(),
+        trend.bandwidth_growth(),
+        hw.hbm_capacity_growth(),
+        hw.hbm_bandwidth_growth(),
+        hw.interconnect_growth()
+    );
+}

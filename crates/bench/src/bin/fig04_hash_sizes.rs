@@ -1,0 +1,25 @@
+//! Figure 4: sparse feature cardinality versus chosen hash size for the
+//! reference model's feature universe.
+
+use recshard_data::ModelSpec;
+
+fn main() {
+    let model = ModelSpec::rm1();
+    println!("# Figure 4: cardinality vs hash size ({} features)", model.num_features());
+    println!("| feature | cardinality | hash size | hash/cardinality |");
+    println!("|---------|-------------|-----------|------------------|");
+    let mut below = 0usize;
+    for f in model.features() {
+        let ratio = f.hash_size as f64 / f.cardinality as f64;
+        if ratio < 1.0 {
+            below += 1;
+        }
+        println!("| {} | {} | {} | {:.3} |", f.id, f.cardinality, f.hash_size, ratio);
+    }
+    println!();
+    println!(
+        "{below} of {} features use a hash size below their cardinality (points under the \
+         red dotted x=y line of Figure 4); the rest over-provision to reduce collisions.",
+        model.num_features()
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 7: pre- vs post-hash value frequency distributions and the
+//! resulting embedding-table under-utilisation for one skewed feature.
+
+use recshard::hash_analysis::pre_post_hash_distribution;
+use recshard_data::hash::expected_usage;
+
+fn main() {
+    // One production-like skewed feature: 20k distinct raw values hashed into
+    // a table slightly larger than the raw space (the Figure 7 setting where
+    // the red dotted hash-size line sits to the right of the raw cardinality).
+    let cardinality = 20_000u64;
+    let hash_size = 24_000u64;
+    let d = pre_post_hash_distribution(cardinality, hash_size, 1.05, 400_000, 11);
+
+    println!("# Figure 7: pre- vs post-hash distribution (cardinality {cardinality}, hash size {hash_size})");
+    println!("| rank bucket | pre-hash count | post-hash count |");
+    println!("|-------------|----------------|-----------------|");
+    for rank in [0usize, 9, 99, 999, 4_999, 9_999] {
+        let pre = d.pre_hash_counts.get(rank).copied().unwrap_or(0);
+        let post = d.post_hash_counts.get(rank).copied().unwrap_or(0);
+        println!("| {} | {} | {} |", rank + 1, pre, post);
+    }
+    let observed_values = d.pre_hash_counts.len();
+    let occupied_rows = d.post_hash_counts.len();
+    let data_sparsity = 1.0 - observed_values as f64 / hash_size as f64;
+    let collision_compression = (observed_values - occupied_rows) as f64 / hash_size as f64;
+    println!();
+    println!("Distinct raw values observed: {observed_values}");
+    println!("Embedding rows occupied:      {occupied_rows}");
+    println!(
+        "Unused table fraction:        {:.1}% (= {:.1}% training-data sparsity + {:.1}% hash-collision compression)",
+        d.unused_fraction * 100.0,
+        data_sparsity * 100.0,
+        collision_compression * 100.0
+    );
+    println!(
+        "(analytic expectation of occupied fraction: {:.1}%)",
+        expected_usage(observed_values as u64, hash_size) * 100.0
+    );
+    println!();
+    println!(
+        "As in Figure 7, the post-hash distribution terminates earlier than the pre-hash one \
+         (collisions compress the space) and a sizable slice of the table is never touched — \
+         space RecShard relegates to UVM at zero performance cost."
+    );
+}

@@ -1,0 +1,26 @@
+//! Table 2: specifications of the three reference DLRMs.
+
+use recshard_bench::fmt_count;
+use recshard_data::{ModelSpec, RmKind};
+
+fn main() {
+    println!("# Table 2: DLRM specifications");
+    println!("| model | # sparse features | total hash size | emb. dim | size (GB) |");
+    println!("|-------|-------------------|-----------------|----------|-----------|");
+    for kind in [RmKind::Rm1, RmKind::Rm2, RmKind::Rm3] {
+        let m = ModelSpec::reference(kind);
+        println!(
+            "| {} | {} | {} | {} | {:.0} |",
+            kind,
+            m.num_features(),
+            fmt_count(m.total_hash_size() as f64),
+            m.features()[0].embedding_dim,
+            m.total_bytes() as f64 / 1e9
+        );
+    }
+    println!();
+    println!(
+        "Paper values: RM1 = 1,331,656,544 rows / 318 GB, RM2 = 2,661,369,917 / 635 GB, \
+         RM3 = 5,320,796,628 / 1270 GB, all with 397 features and dimension 64."
+    );
+}

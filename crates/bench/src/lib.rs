@@ -1,0 +1,259 @@
+//! # recshard-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! RecShard paper's evaluation (Section 6), plus the Criterion benchmarks.
+//!
+//! Each `src/bin/*.rs` binary reproduces one table or figure; this library
+//! holds the shared machinery: scaled-down reference models (RM1/RM2/RM3 and
+//! the 16-GPU system, both divided by the same factor so capacity *pressure*
+//! matches the paper), the four sharding strategies under comparison, and the
+//! simulation driver that measures iteration times and per-tier access
+//! counts.
+//!
+//! Absolute milliseconds differ from the paper's A100 testbed (the substrate
+//! here is a simulator); the comparisons the paper draws — which strategy
+//! wins, by what factor, how access counts shift between HBM and UVM — are
+//! reproduced by these harnesses.
+
+use recshard::{RecShard, RecShardConfig};
+use recshard_data::{ModelSpec, RmKind};
+use recshard_memsim::{EmbeddingOpSimulator, RunReport, SimConfig};
+use recshard_sharding::{
+    GreedySharder, LookupCost, ShardingPlan, SizeCost, SizeLookupCost, SystemSpec,
+};
+use recshard_stats::{DatasetProfile, DatasetProfiler};
+
+/// Configuration shared by the experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Factor by which production row counts and memory capacities are divided.
+    pub scale: u64,
+    /// Number of GPUs (the paper evaluates on 16).
+    pub gpus: usize,
+    /// Synthetic training samples profiled before sharding.
+    pub profile_samples: usize,
+    /// Simulated training iterations per measurement.
+    pub sim_iterations: usize,
+    /// Samples traced per simulated iteration (scaled up to the paper's
+    /// 16,384 batch for reporting).
+    pub sim_batch: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A configuration that runs every experiment in seconds on a laptop
+    /// while preserving the paper's capacity pressure.
+    pub fn fast() -> Self {
+        Self { scale: 2048, gpus: 16, profile_samples: 4_000, sim_iterations: 3, sim_batch: 256, seed: 0xA5F0 }
+    }
+
+    /// A smaller configuration for tests.
+    pub fn tiny() -> Self {
+        Self { scale: 16_384, gpus: 4, profile_samples: 800, sim_iterations: 2, sim_batch: 64, seed: 7 }
+    }
+
+    /// Reads overrides from environment variables (`RECSHARD_SCALE`,
+    /// `RECSHARD_GPUS`, `RECSHARD_PROFILE_SAMPLES`, `RECSHARD_SIM_ITERS`,
+    /// `RECSHARD_SIM_BATCH`).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::fast();
+        let get = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
+        if let Some(v) = get("RECSHARD_SCALE") {
+            cfg.scale = v.max(1);
+        }
+        if let Some(v) = get("RECSHARD_GPUS") {
+            cfg.gpus = v.max(1) as usize;
+        }
+        if let Some(v) = get("RECSHARD_PROFILE_SAMPLES") {
+            cfg.profile_samples = v.max(1) as usize;
+        }
+        if let Some(v) = get("RECSHARD_SIM_ITERS") {
+            cfg.sim_iterations = v.max(1) as usize;
+        }
+        if let Some(v) = get("RECSHARD_SIM_BATCH") {
+            cfg.sim_batch = v.max(1) as usize;
+        }
+        cfg
+    }
+
+    /// The scaled reference model for one of the paper's RMs.
+    pub fn model(&self, kind: RmKind) -> ModelSpec {
+        ModelSpec::reference(kind).scaled(self.scale)
+    }
+
+    /// The scaled 16-GPU (or overridden GPU count) evaluation system.
+    pub fn system(&self) -> SystemSpec {
+        SystemSpec::paper_with_gpus(self.gpus).scaled(self.scale)
+    }
+
+    /// The simulation configuration (results reported at the paper's batch
+    /// size of 16,384).
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            kernel_overhead_us_per_table: 8.0,
+            scale_to_batch: Some(recshard_data::model::PAPER_BATCH_SIZE),
+        }
+    }
+}
+
+/// The four sharding strategies compared throughout Section 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Size-based greedy baseline (SB).
+    SizeBased,
+    /// Lookup-based greedy baseline (LB).
+    LookupBased,
+    /// Size-and-Lookup greedy baseline (SBL).
+    SizeLookupBased,
+    /// RecShard (the paper's contribution).
+    RecShard,
+}
+
+impl Strategy {
+    /// All strategies in the order the paper's tables list them.
+    pub fn all() -> [Strategy; 4] {
+        [Strategy::SizeBased, Strategy::LookupBased, Strategy::SizeLookupBased, Strategy::RecShard]
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::SizeBased => "Size-Based",
+            Strategy::LookupBased => "Lookup-Based",
+            Strategy::SizeLookupBased => "Size-Based-Lookup",
+            Strategy::RecShard => "RecShard",
+        }
+    }
+
+    /// Produces this strategy's plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy cannot place the model on the system (the
+    /// experiment configurations are chosen so it always can).
+    pub fn plan(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+    ) -> ShardingPlan {
+        match self {
+            Strategy::SizeBased => GreedySharder::new(SizeCost)
+                .shard(model, profile, system)
+                .expect("size-based sharding failed"),
+            Strategy::LookupBased => GreedySharder::new(LookupCost)
+                .shard(model, profile, system)
+                .expect("lookup-based sharding failed"),
+            Strategy::SizeLookupBased => GreedySharder::new(SizeLookupCost)
+                .shard(model, profile, system)
+                .expect("size-lookup sharding failed"),
+            Strategy::RecShard => RecShard::new(RecShardConfig::default())
+                .plan(model, profile, system)
+                .expect("recshard sharding failed"),
+        }
+    }
+}
+
+/// The profile, plans and simulated run reports of one model under all four
+/// strategies.
+#[derive(Debug, Clone)]
+pub struct StrategyComparison {
+    /// Which reference model was evaluated.
+    pub kind: RmKind,
+    /// The profile used by every strategy.
+    pub profile: DatasetProfile,
+    /// `(strategy, plan, simulated run report)` for each strategy.
+    pub results: Vec<(Strategy, ShardingPlan, RunReport)>,
+}
+
+impl StrategyComparison {
+    /// The result entry of one strategy.
+    pub fn result(&self, strategy: Strategy) -> &(Strategy, ShardingPlan, RunReport) {
+        self.results
+            .iter()
+            .find(|(s, _, _)| *s == strategy)
+            .expect("strategy present")
+    }
+}
+
+/// Profiles a reference model and runs the full strategy comparison
+/// (Tables 3–5, Figures 11–13 all consume this).
+pub fn compare_strategies(kind: RmKind, cfg: &ExperimentConfig) -> StrategyComparison {
+    let model = cfg.model(kind);
+    let system = cfg.system();
+    let profile = DatasetProfiler::profile_model(&model, cfg.profile_samples, cfg.seed);
+    let results = Strategy::all()
+        .into_iter()
+        .map(|strategy| {
+            let plan = strategy.plan(&model, &profile, &system);
+            let mut sim =
+                EmbeddingOpSimulator::new(&model, &plan, &profile, &system, cfg.sim_config());
+            let report = sim.run(cfg.sim_iterations, cfg.sim_batch, cfg.seed ^ 0x5EED);
+            (strategy, plan, report)
+        })
+        .collect();
+    StrategyComparison { kind, profile, results }
+}
+
+/// Formats a number with thousands separators for table output.
+pub fn fmt_count(value: f64) -> String {
+    let v = value.round() as i128;
+    let s = v.abs().to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if v < 0 {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+/// Prints a Markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_count_inserts_separators() {
+        assert_eq!(fmt_count(1234567.0), "1,234,567");
+        assert_eq!(fmt_count(12.4), "12");
+        assert_eq!(fmt_count(0.0), "0");
+    }
+
+    #[test]
+    fn tiny_experiment_runs_all_strategies() {
+        let cfg = ExperimentConfig::tiny();
+        let cmp = compare_strategies(RmKind::Rm1, &cfg);
+        assert_eq!(cmp.results.len(), 4);
+        for (_, plan, report) in &cmp.results {
+            assert_eq!(plan.num_gpus(), cfg.gpus);
+            assert!(report.iteration_time_ms() > 0.0);
+        }
+        // RecShard never loses to the worst baseline on iteration time.
+        let worst_baseline = cmp
+            .results
+            .iter()
+            .filter(|(s, _, _)| *s != Strategy::RecShard)
+            .map(|(_, _, r)| r.iteration_time_ms())
+            .fold(0.0f64, f64::max);
+        let recshard = cmp.result(Strategy::RecShard).2.iteration_time_ms();
+        assert!(recshard <= worst_baseline * 1.2);
+    }
+
+    #[test]
+    fn strategy_labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            Strategy::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

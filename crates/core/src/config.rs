@@ -1,0 +1,111 @@
+//! RecShard configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which placement solver to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// The structured solver: split selection by marginal-cost sweep plus
+    /// min-max assignment with local search. Scales to hundreds of tables and
+    /// is the default.
+    Structured,
+    /// The exact MILP formulation of Section 4.2, solved with the
+    /// branch-and-bound solver in `recshard-milp`. Only practical for small
+    /// instances (a handful of tables and GPUs); used as ground truth in
+    /// tests and available for experimentation.
+    ExactMilp,
+}
+
+/// Configuration of the RecShard partitioning and placement stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecShardConfig {
+    /// Number of uniform steps used for the piece-wise linear ICDF
+    /// approximation (the paper uses 100).
+    pub icdf_steps: usize,
+    /// Whether the per-table average pooling factor participates in the cost
+    /// model (disabled in the "CDF only" and "CDF + Coverage" ablations).
+    pub use_pooling: bool,
+    /// Whether the per-table coverage participates in the cost model
+    /// (disabled in the "CDF only" and "CDF + Pooling" ablations).
+    pub use_coverage: bool,
+    /// Fraction of aggregate HBM deliberately left free during split
+    /// selection so the per-GPU assignment has packing slack.
+    pub hbm_slack: f64,
+    /// Which solver implementation to use.
+    pub solver: SolverKind,
+    /// Maximum local-search improvement passes during assignment refinement.
+    pub refinement_passes: usize,
+}
+
+impl Default for RecShardConfig {
+    fn default() -> Self {
+        Self {
+            icdf_steps: 100,
+            use_pooling: true,
+            use_coverage: true,
+            hbm_slack: 0.02,
+            solver: SolverKind::Structured,
+            refinement_passes: 4,
+        }
+    }
+}
+
+impl RecShardConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.icdf_steps == 0 {
+            return Err("icdf_steps must be at least 1".into());
+        }
+        if !(0.0..1.0).contains(&self.hbm_slack) {
+            return Err("hbm_slack must be in [0, 1)".into());
+        }
+        Ok(())
+    }
+
+    /// Returns a copy using the exact MILP solver.
+    pub fn with_exact_milp(mut self) -> Self {
+        self.solver = SolverKind::ExactMilp;
+        self
+    }
+
+    /// Returns a copy with a different ICDF step count.
+    pub fn with_icdf_steps(mut self, steps: usize) -> Self {
+        self.icdf_steps = steps;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = RecShardConfig::default();
+        assert_eq!(c.icdf_steps, 100);
+        assert!(c.use_pooling && c.use_coverage);
+        assert_eq!(c.solver, SolverKind::Structured);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = RecShardConfig::default();
+        c.icdf_steps = 0;
+        assert!(c.validate().is_err());
+        let mut c = RecShardConfig::default();
+        c.hbm_slack = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let c = RecShardConfig::default().with_exact_milp().with_icdf_steps(10);
+        assert_eq!(c.solver, SolverKind::ExactMilp);
+        assert_eq!(c.icdf_steps, 10);
+    }
+}

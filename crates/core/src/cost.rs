@@ -1,0 +1,157 @@
+//! The per-table cost model shared by the MILP formulation and the
+//! structured solver (constraints 11 and 12 of the paper).
+
+use crate::config::RecShardConfig;
+use recshard_sharding::SystemSpec;
+use recshard_stats::FeatureProfile;
+use serde::{Deserialize, Serialize};
+
+/// One candidate split of a table: keep the `hbm_rows` hottest rows in HBM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitOption {
+    /// ICDF step index this option corresponds to (0..=steps).
+    pub step: usize,
+    /// Number of the table's hottest rows kept in HBM.
+    pub hbm_rows: u64,
+    /// HBM bytes consumed by the option.
+    pub hbm_bytes: u64,
+    /// UVM bytes consumed by the option (the remainder of the table).
+    pub uvm_bytes: u64,
+    /// Fraction of the table's accesses expected to be served from HBM.
+    pub hbm_access_fraction: f64,
+    /// The per-iteration cost of the table under this option, already
+    /// weighted by coverage (the `coverage_j * c_j` term of constraint 12).
+    pub weighted_cost: f64,
+}
+
+/// The full menu of split options for one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableCostModel {
+    /// Dense table index.
+    pub table: usize,
+    /// Total rows of the table.
+    pub total_rows: u64,
+    /// Bytes per row.
+    pub row_bytes: u64,
+    /// Candidate splits, indexed by ICDF step (monotonically non-decreasing
+    /// HBM rows and non-increasing cost).
+    pub options: Vec<SplitOption>,
+}
+
+impl TableCostModel {
+    /// Builds the cost menu for one table from its profile.
+    ///
+    /// The cost of a split follows constraint 11 of the paper: the table's
+    /// expected per-iteration bytes (`avg_pool * dim * bytes * B`) split
+    /// between HBM and UVM according to the fraction of accesses the chosen
+    /// hot-row set covers, each scaled by the corresponding bandwidth. The
+    /// result is multiplied by coverage (constraint 12). The ablation switches
+    /// in [`RecShardConfig`] replace pooling and/or coverage with 1.
+    pub fn build(
+        table: usize,
+        profile: &FeatureProfile,
+        system: &SystemSpec,
+        batch_size: u32,
+        config: &RecShardConfig,
+    ) -> Self {
+        let row_bytes = profile.row_bytes();
+        let icdf = profile.icdf(config.icdf_steps);
+        let pooling = if config.use_pooling { profile.avg_pooling.max(0.0) } else { 1.0 };
+        let coverage = if config.use_coverage { profile.coverage } else { 1.0 };
+        // Expected bytes the table moves per iteration (before tier split).
+        let per_iter_bytes = pooling * row_bytes as f64 * batch_size as f64;
+        let hbm_gbps = system.hbm_bandwidth_gbps * 1e9;
+        let uvm_gbps = system.uvm_bandwidth_gbps * 1e9;
+
+        let mut options = Vec::with_capacity(config.icdf_steps + 1);
+        for step in 0..=config.icdf_steps {
+            let hbm_rows = icdf.rows_at_step(step).min(profile.hash_size);
+            // Use the *actual* CDF value at the chosen row count rather than
+            // the nominal step fraction: identical row counts then yield
+            // identical costs, keeping the option list monotone.
+            let pct = profile.cdf.access_fraction(hbm_rows);
+            let cost_seconds =
+                per_iter_bytes * (pct / hbm_gbps + (1.0 - pct) / uvm_gbps);
+            options.push(SplitOption {
+                step,
+                hbm_rows,
+                hbm_bytes: hbm_rows * row_bytes,
+                uvm_bytes: (profile.hash_size - hbm_rows) * row_bytes,
+                hbm_access_fraction: pct,
+                weighted_cost: coverage * cost_seconds * 1e3, // milliseconds
+            });
+        }
+        Self { table, total_rows: profile.hash_size, row_bytes, options }
+    }
+
+    /// The option at a given ICDF step.
+    pub fn option(&self, step: usize) -> &SplitOption {
+        &self.options[step]
+    }
+
+    /// The last (most HBM-hungry, cheapest) option.
+    pub fn max_option(&self) -> &SplitOption {
+        self.options.last().expect("at least one option")
+    }
+
+    /// The first (no-HBM, most expensive) option.
+    pub fn min_option(&self) -> &SplitOption {
+        self.options.first().expect("at least one option")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recshard_data::ModelSpec;
+    use recshard_stats::DatasetProfiler;
+
+    fn build_one() -> TableCostModel {
+        let model = ModelSpec::small(3, 6);
+        let profile = DatasetProfiler::profile_model(&model, 3_000, 2);
+        let system = SystemSpec::uniform(2, 1 << 30, 1 << 34, 1555.0, 16.0);
+        TableCostModel::build(0, &profile.profiles()[0], &system, 256, &RecShardConfig::default())
+    }
+
+    #[test]
+    fn options_are_monotone() {
+        let m = build_one();
+        for w in m.options.windows(2) {
+            assert!(w[1].hbm_rows >= w[0].hbm_rows);
+            assert!(w[1].hbm_bytes >= w[0].hbm_bytes);
+            assert!(w[1].weighted_cost <= w[0].weighted_cost + 1e-12);
+            assert!(w[1].hbm_access_fraction >= w[0].hbm_access_fraction - 1e-12);
+        }
+    }
+
+    #[test]
+    fn step_zero_uses_no_hbm() {
+        let m = build_one();
+        assert_eq!(m.min_option().hbm_rows, 0);
+        assert_eq!(m.min_option().hbm_bytes, 0);
+        assert_eq!(m.min_option().hbm_access_fraction, 0.0);
+    }
+
+    #[test]
+    fn hbm_plus_uvm_bytes_cover_the_table() {
+        let m = build_one();
+        for o in &m.options {
+            assert_eq!(o.hbm_bytes + o.uvm_bytes, m.total_rows * m.row_bytes);
+        }
+    }
+
+    #[test]
+    fn ablation_switches_change_costs() {
+        let model = ModelSpec::small(3, 6);
+        let profile = DatasetProfiler::profile_model(&model, 3_000, 2);
+        let system = SystemSpec::uniform(2, 1 << 30, 1 << 34, 1555.0, 16.0);
+        let p = &profile.profiles()[0];
+        let full = TableCostModel::build(0, p, &system, 256, &RecShardConfig::default());
+        let mut no_pool = RecShardConfig::default();
+        no_pool.use_pooling = false;
+        let ablated = TableCostModel::build(0, p, &system, 256, &no_pool);
+        if p.avg_pooling > 1.5 {
+            assert!(ablated.min_option().weighted_cost < full.min_option().weighted_cost);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The end-to-end RecShard pipeline (Figure 10): profile → partition/place →
+//! remap.
+
+use crate::config::{RecShardConfig, SolverKind};
+use crate::error::RecShardError;
+use crate::formulation::MilpFormulation;
+use crate::solver::StructuredSolver;
+use recshard_data::{ModelSpec, SampleGenerator};
+use recshard_sharding::{RemapTable, ShardingPlan, SystemSpec};
+use recshard_stats::{DatasetProfile, DatasetProfiler};
+
+/// The RecShard sharder.
+///
+/// Construct it with a [`RecShardConfig`] and call [`plan`](RecShard::plan)
+/// with a profiled dataset, or [`run`](RecShard::run) to let it profile a
+/// synthetic dataset itself (phases 1–3 of the paper's Figure 10).
+#[derive(Debug, Clone)]
+pub struct RecShard {
+    config: RecShardConfig,
+}
+
+/// Everything the full pipeline produces: the profile it derived, the plan it
+/// solved for, and the materialised per-table remapping tables.
+#[derive(Debug, Clone)]
+pub struct RecShardOutput {
+    /// The dataset profile used for partitioning (phase 1).
+    pub profile: DatasetProfile,
+    /// The partitioning and placement decision (phase 2).
+    pub plan: ShardingPlan,
+    /// Per-table remapping tables (phase 3), ordered by feature id.
+    pub remap_tables: Vec<RemapTable>,
+}
+
+impl RecShardOutput {
+    /// Total storage overhead of the remapping tables in bytes
+    /// (4 bytes per row, Section 6.6).
+    pub fn remap_storage_bytes(&self) -> u64 {
+        self.remap_tables.iter().map(|r| r.storage_bytes()).sum()
+    }
+}
+
+impl Default for RecShard {
+    fn default() -> Self {
+        Self::new(RecShardConfig::default())
+    }
+}
+
+impl RecShard {
+    /// Creates a sharder with the given configuration.
+    pub fn new(config: RecShardConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RecShardConfig {
+        &self.config
+    }
+
+    /// Phase 2 only: produce a partitioning and placement plan from an
+    /// existing profile.
+    ///
+    /// # Errors
+    ///
+    /// See [`RecShardError`].
+    pub fn plan(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+    ) -> Result<ShardingPlan, RecShardError> {
+        match self.config.solver {
+            SolverKind::Structured => {
+                StructuredSolver::new(self.config).solve(model, profile, system)
+            }
+            SolverKind::ExactMilp => {
+                MilpFormulation::new(self.config).solve(model, profile, system)
+            }
+        }
+    }
+
+    /// Phase 3 only: materialise per-table remapping tables for a plan.
+    pub fn remap(&self, plan: &ShardingPlan, profile: &DatasetProfile) -> Vec<RemapTable> {
+        plan.placements()
+            .iter()
+            .zip(profile.profiles())
+            .map(|(placement, prof)| RemapTable::build(placement, &prof.ranked_rows))
+            .collect()
+    }
+
+    /// The full pipeline: profile `profile_samples` synthetic training samples
+    /// of `model`, solve for a plan on `system`, and build the remapping
+    /// tables.
+    ///
+    /// # Errors
+    ///
+    /// See [`RecShardError`].
+    pub fn run(
+        &self,
+        model: &ModelSpec,
+        system: &SystemSpec,
+        profile_samples: usize,
+        seed: u64,
+    ) -> Result<RecShardOutput, RecShardError> {
+        let mut profiler = DatasetProfiler::new(model);
+        let mut gen = SampleGenerator::new(model, seed);
+        for _ in 0..profile_samples {
+            profiler.consume(&gen.sample());
+        }
+        let profile = profiler.finish();
+        let plan = self.plan(model, &profile, system)?;
+        let remap_tables = self.remap(&plan, &profile);
+        Ok(RecShardOutput { profile, plan, remap_tables })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recshard_data::ModelSpec;
+    use recshard_sharding::MemoryTier;
+
+    #[test]
+    fn full_pipeline_produces_consistent_output() {
+        let model = ModelSpec::small(8, 17);
+        let system =
+            SystemSpec::uniform(2, model.total_bytes() / 6, model.total_bytes(), 1555.0, 16.0);
+        let out = RecShard::default().run(&model, &system, 1_500, 3).unwrap();
+        out.plan.validate(&model, &system).unwrap();
+        assert_eq!(out.remap_tables.len(), model.num_features());
+        // Remap tables agree with the plan's split sizes.
+        for (remap, placement) in out.remap_tables.iter().zip(out.plan.placements()) {
+            assert_eq!(remap.total_rows(), placement.total_rows);
+            assert_eq!(remap.hbm_rows(), placement.hbm_rows);
+        }
+        assert_eq!(out.remap_storage_bytes(), model.total_hash_size() * 4);
+    }
+
+    #[test]
+    fn hot_rows_end_up_in_hbm() {
+        let model = ModelSpec::small(6, 23);
+        let system =
+            SystemSpec::uniform(2, model.total_bytes() / 4, model.total_bytes(), 1555.0, 16.0);
+        let out = RecShard::default().run(&model, &system, 2_000, 5).unwrap();
+        // For every table that keeps at least one row in HBM, the single most
+        // frequently accessed row must be one of them.
+        for (t, remap) in out.remap_tables.iter().enumerate() {
+            let prof = &out.profile.profiles()[t];
+            if out.plan.placements()[t].hbm_rows > 0 && !prof.ranked_rows.is_empty() {
+                assert_eq!(remap.tier_of(prof.ranked_rows[0]), MemoryTier::Hbm);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_solver_configurable() {
+        let model = ModelSpec::small(3, 29).with_batch_size(64);
+        let system =
+            SystemSpec::uniform(2, model.total_bytes() / 4, model.total_bytes(), 1555.0, 16.0);
+        let config = RecShardConfig::default().with_exact_milp().with_icdf_steps(5);
+        let out = RecShard::new(config).run(&model, &system, 800, 7).unwrap();
+        out.plan.validate(&model, &system).unwrap();
+        assert_eq!(out.plan.strategy(), "recshard-milp");
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let model = ModelSpec::small(3, 1);
+        let system = SystemSpec::uniform(2, model.total_bytes(), model.total_bytes(), 1555.0, 16.0);
+        let mut config = RecShardConfig::default();
+        config.icdf_steps = 0;
+        let err = RecShard::new(config).run(&model, &system, 100, 1);
+        assert!(matches!(err, Err(RecShardError::InvalidConfig(_))));
+    }
+}

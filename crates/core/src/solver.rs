@@ -1,0 +1,473 @@
+//! The structured large-scale solver.
+//!
+//! The paper's MILP has a very particular structure: each table independently
+//! chooses one point on its ICDF (a split between HBM and UVM rows), each
+//! table is owned by exactly one GPU, and the objective is the *maximum* over
+//! GPUs of the sum of coverage-weighted table costs, subject to per-GPU HBM
+//! and DRAM capacities. [`StructuredSolver`] exploits that structure:
+//!
+//! 1. **Split selection** — start with every table at its cheapest (most
+//!    HBM-hungry) option and repeatedly downgrade the split with the lowest
+//!    marginal cost increase per HBM byte freed until the aggregate HBM
+//!    demand fits the fleet (a greedy that is optimal for the continuous
+//!    knapsack / Lagrangian relaxation of the split-selection subproblem).
+//! 2. **Assignment** — Longest-Processing-Time greedy onto the GPU with the
+//!    lowest accumulated cost that still has capacity, followed by
+//!    move/swap local search focused on the bottleneck GPU.
+//! 3. **Backfill** — any HBM left free on a GPU after assignment is used to
+//!    upgrade the splits of that GPU's own tables, cheapest-gain first.
+//!
+//! Property tests in this module and the integration suite check the solver
+//! against the exact MILP on small instances and verify capacity safety on
+//! random ones.
+
+use crate::config::RecShardConfig;
+use crate::cost::TableCostModel;
+use crate::error::RecShardError;
+use recshard_data::ModelSpec;
+use recshard_sharding::{ShardingPlan, SystemSpec, TablePlacement};
+use recshard_stats::DatasetProfile;
+use std::collections::BinaryHeap;
+
+/// Scalable RecShard placement solver.
+#[derive(Debug, Clone)]
+pub struct StructuredSolver {
+    config: RecShardConfig,
+}
+
+#[derive(Debug, Clone)]
+struct TableState {
+    step: usize,
+}
+
+impl StructuredSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: RecShardConfig) -> Self {
+        Self { config }
+    }
+
+    /// Produces a RecShard placement plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecShardError::CapacityExceeded`] if the model cannot fit in
+    /// the system at all, and [`RecShardError::ProfileMismatch`] if the
+    /// profile does not cover the model.
+    pub fn solve(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+    ) -> Result<ShardingPlan, RecShardError> {
+        self.config.validate().map_err(RecShardError::InvalidConfig)?;
+        if profile.num_features() != model.num_features() {
+            return Err(RecShardError::ProfileMismatch(format!(
+                "profile covers {} features, model has {}",
+                profile.num_features(),
+                model.num_features()
+            )));
+        }
+        if model.total_bytes() > system.total_capacity() {
+            return Err(RecShardError::CapacityExceeded {
+                required_bytes: model.total_bytes(),
+                available_bytes: system.total_capacity(),
+            });
+        }
+
+        let batch = model.batch_size();
+        let costs: Vec<TableCostModel> = profile
+            .profiles()
+            .iter()
+            .enumerate()
+            .map(|(t, p)| TableCostModel::build(t, p, system, batch, &self.config))
+            .collect();
+
+        // ---- Phase 1: split selection against the aggregate HBM budget ----
+        let budget = (system.total_hbm_capacity() as f64 * (1.0 - self.config.hbm_slack)) as u64;
+        let mut states: Vec<TableState> =
+            costs.iter().map(|c| TableState { step: c.options.len() - 1 }).collect();
+        let mut hbm_demand: u64 = costs.iter().map(|c| c.max_option().hbm_bytes).sum();
+
+        // Max-heap keyed by Reverse(marginal cost per freed byte) so the
+        // cheapest downgrade pops first.
+        #[derive(PartialEq)]
+        struct Downgrade {
+            ratio: f64,
+            table: usize,
+            from_step: usize,
+        }
+        impl Eq for Downgrade {}
+        impl PartialOrd for Downgrade {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Downgrade {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .ratio
+                    .partial_cmp(&self.ratio)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(other.table.cmp(&self.table))
+            }
+        }
+
+        let downgrade_of = |costs: &[TableCostModel], table: usize, from_step: usize| -> Option<Downgrade> {
+            if from_step == 0 {
+                return None;
+            }
+            let cur = &costs[table].options[from_step];
+            // Find the next step down that actually frees bytes (skip plateaus).
+            let mut to = from_step;
+            while to > 0 {
+                to -= 1;
+                if costs[table].options[to].hbm_bytes < cur.hbm_bytes {
+                    break;
+                }
+            }
+            let next = &costs[table].options[to];
+            let freed = cur.hbm_bytes.saturating_sub(next.hbm_bytes);
+            if freed == 0 {
+                return None;
+            }
+            let extra_cost = (next.weighted_cost - cur.weighted_cost).max(0.0);
+            Some(Downgrade { ratio: extra_cost / freed as f64, table, from_step })
+        };
+
+        let mut heap: BinaryHeap<Downgrade> = BinaryHeap::new();
+        for t in 0..costs.len() {
+            if let Some(d) = downgrade_of(&costs, t, states[t].step) {
+                heap.push(d);
+            }
+        }
+        while hbm_demand > budget {
+            let Some(d) = heap.pop() else { break };
+            if d.from_step != states[d.table].step {
+                continue; // stale entry
+            }
+            // Apply the downgrade to the next strictly smaller option.
+            let cur_bytes = costs[d.table].options[d.from_step].hbm_bytes;
+            let mut to = d.from_step;
+            while to > 0 {
+                to -= 1;
+                if costs[d.table].options[to].hbm_bytes < cur_bytes {
+                    break;
+                }
+            }
+            let freed = cur_bytes - costs[d.table].options[to].hbm_bytes;
+            states[d.table].step = to;
+            hbm_demand -= freed;
+            if let Some(next) = downgrade_of(&costs, d.table, to) {
+                heap.push(next);
+            }
+        }
+
+        // ---- Phase 2: min-max assignment (LPT + capacity) ----
+        let m = system.num_gpus;
+        let mut gpu_cost = vec![0.0f64; m];
+        let mut hbm_free = vec![system.hbm_capacity_per_gpu; m];
+        let mut dram_free = vec![system.dram_capacity_per_gpu; m];
+        let mut assignment: Vec<Option<usize>> = vec![None; costs.len()];
+
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ca = costs[a].options[states[a].step].weighted_cost;
+            let cb = costs[b].options[states[b].step].weighted_cost;
+            cb.partial_cmp(&ca).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+
+        for &t in &order {
+            // Cheapest-loaded GPU that can hold the table at its current split;
+            // if none can, progressively downgrade the split until one fits.
+            loop {
+                let opt = &costs[t].options[states[t].step];
+                let candidate = (0..m)
+                    .filter(|&g| hbm_free[g] >= opt.hbm_bytes && dram_free[g] >= opt.uvm_bytes)
+                    .min_by(|&a, &b| {
+                        gpu_cost[a]
+                            .partial_cmp(&gpu_cost[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(&b))
+                    });
+                if let Some(g) = candidate {
+                    hbm_free[g] -= opt.hbm_bytes;
+                    dram_free[g] -= opt.uvm_bytes;
+                    gpu_cost[g] += opt.weighted_cost;
+                    assignment[t] = Some(g);
+                    break;
+                }
+                if states[t].step == 0 {
+                    return Err(RecShardError::CapacityExceeded {
+                        required_bytes: opt.uvm_bytes,
+                        available_bytes: dram_free.iter().copied().max().unwrap_or(0),
+                    });
+                }
+                states[t].step -= 1;
+            }
+        }
+
+        // ---- Phase 3a: move/swap local search on the bottleneck GPU ----
+        for _ in 0..self.config.refinement_passes {
+            let bottleneck = (0..m)
+                .max_by(|&a, &b| {
+                    gpu_cost[a].partial_cmp(&gpu_cost[b]).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("at least one GPU");
+            let mut improved = false;
+            let tables_on_bottleneck: Vec<usize> = (0..costs.len())
+                .filter(|&t| assignment[t] == Some(bottleneck))
+                .collect();
+            for &t in &tables_on_bottleneck {
+                let opt = &costs[t].options[states[t].step];
+                // Try moving table t to the GPU that minimises the new max cost.
+                let mut best: Option<(usize, f64)> = None;
+                for g in 0..m {
+                    if g == bottleneck
+                        || hbm_free[g] < opt.hbm_bytes
+                        || dram_free[g] < opt.uvm_bytes
+                    {
+                        continue;
+                    }
+                    let new_src = gpu_cost[bottleneck] - opt.weighted_cost;
+                    let new_dst = gpu_cost[g] + opt.weighted_cost;
+                    let new_max = (0..m)
+                        .map(|x| {
+                            if x == bottleneck {
+                                new_src
+                            } else if x == g {
+                                new_dst
+                            } else {
+                                gpu_cost[x]
+                            }
+                        })
+                        .fold(0.0f64, f64::max);
+                    if new_max + 1e-12 < gpu_cost[bottleneck]
+                        && best.map(|(_, b)| new_max < b).unwrap_or(true)
+                    {
+                        best = Some((g, new_max));
+                    }
+                }
+                if let Some((g, _)) = best {
+                    hbm_free[bottleneck] += opt.hbm_bytes;
+                    dram_free[bottleneck] += opt.uvm_bytes;
+                    hbm_free[g] -= opt.hbm_bytes;
+                    dram_free[g] -= opt.uvm_bytes;
+                    gpu_cost[bottleneck] -= opt.weighted_cost;
+                    gpu_cost[g] += opt.weighted_cost;
+                    assignment[t] = Some(g);
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        // ---- Phase 3b: backfill leftover per-GPU HBM by upgrading splits ----
+        for g in 0..m {
+            loop {
+                // Pick the upgrade with the largest cost reduction that fits.
+                let mut best: Option<(usize, usize, f64, u64)> = None; // (table, new_step, gain, extra_bytes)
+                for t in 0..costs.len() {
+                    if assignment[t] != Some(g) {
+                        continue;
+                    }
+                    let cur = &costs[t].options[states[t].step];
+                    for step in (states[t].step + 1)..costs[t].options.len() {
+                        let cand = &costs[t].options[step];
+                        let extra = cand.hbm_bytes.saturating_sub(cur.hbm_bytes);
+                        if extra > hbm_free[g] {
+                            break;
+                        }
+                        let gain = cur.weighted_cost - cand.weighted_cost;
+                        if gain > 1e-15 && best.map(|(_, _, bg, _)| gain > bg).unwrap_or(true) {
+                            best = Some((t, step, gain, extra));
+                        }
+                    }
+                }
+                let Some((t, step, gain, extra)) = best else { break };
+                let _ = gain;
+                hbm_free[g] -= extra;
+                dram_free[g] += costs[t].options[states[t].step].uvm_bytes
+                    - costs[t].options[step].uvm_bytes;
+                gpu_cost[g] -= costs[t].options[states[t].step].weighted_cost
+                    - costs[t].options[step].weighted_cost;
+                states[t].step = step;
+            }
+        }
+
+        // ---- Materialise the plan ----
+        let placements = model
+            .features()
+            .iter()
+            .enumerate()
+            .map(|(t, spec)| {
+                let opt = &costs[t].options[states[t].step];
+                TablePlacement {
+                    table: spec.id,
+                    gpu: assignment[t].expect("every table assigned"),
+                    hbm_rows: opt.hbm_rows,
+                    total_rows: spec.hash_size,
+                    row_bytes: spec.row_bytes(),
+                }
+            })
+            .collect();
+        let plan = ShardingPlan::new("recshard", m, placements);
+        debug_assert!(plan.validate(model, system).is_ok());
+        Ok(plan)
+    }
+
+    /// The estimated per-GPU cost vector of a plan under this solver's cost
+    /// model (useful for reporting the objective value).
+    pub fn gpu_costs(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        plan: &ShardingPlan,
+    ) -> Vec<f64> {
+        let batch = model.batch_size();
+        let mut gpu_cost = vec![0.0f64; plan.num_gpus()];
+        for (t, p) in plan.placements().iter().enumerate() {
+            let cm = TableCostModel::build(t, &profile.profiles()[t], system, batch, &self.config);
+            // Use the most generous option that does not exceed the plan's
+            // HBM row budget for this table (conservative cost estimate).
+            let opt = cm
+                .options
+                .iter()
+                .filter(|o| o.hbm_rows <= p.hbm_rows)
+                .last()
+                .unwrap_or_else(|| cm.min_option());
+            gpu_cost[p.gpu] += opt.weighted_cost;
+        }
+        gpu_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recshard_data::ModelSpec;
+    use recshard_stats::DatasetProfiler;
+
+    fn setup(n: usize, seed: u64) -> (ModelSpec, DatasetProfile) {
+        let model = ModelSpec::small(n, seed);
+        let profile = DatasetProfiler::profile_model(&model, 2_000, seed + 1);
+        (model, profile)
+    }
+
+    #[test]
+    fn ample_capacity_keeps_accessed_rows_in_hbm() {
+        let (model, profile) = setup(8, 3);
+        let system = SystemSpec::uniform(2, model.total_bytes(), model.total_bytes(), 1555.0, 16.0);
+        let plan = StructuredSolver::new(RecShardConfig::default())
+            .solve(&model, &profile, &system)
+            .unwrap();
+        plan.validate(&model, &system).unwrap();
+        for (p, prof) in plan.placements().iter().zip(profile.profiles()) {
+            assert!(p.hbm_rows >= prof.accessed_rows(), "all accessed rows should be in HBM");
+        }
+    }
+
+    #[test]
+    fn capacity_pressure_moves_cold_rows_to_uvm() {
+        let (model, profile) = setup(10, 7);
+        let system = SystemSpec::uniform(
+            2,
+            model.total_bytes() / 8,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let plan = StructuredSolver::new(RecShardConfig::default())
+            .solve(&model, &profile, &system)
+            .unwrap();
+        plan.validate(&model, &system).unwrap();
+        assert!(plan.total_uvm_rows() > 0);
+        // HBM usage never exceeds per-GPU capacity (validate also checks this).
+        for &bytes in &plan.hbm_bytes_per_gpu() {
+            assert!(bytes <= system.hbm_capacity_per_gpu);
+        }
+    }
+
+    #[test]
+    fn tighter_capacity_never_decreases_estimated_cost() {
+        let (model, profile) = setup(8, 11);
+        let solver = StructuredSolver::new(RecShardConfig::default());
+        let mut prev_cost = 0.0;
+        for denom in [1u64, 4, 8, 16] {
+            let system = SystemSpec::uniform(
+                2,
+                (model.total_bytes() / denom).max(1),
+                model.total_bytes() * 2,
+                1555.0,
+                16.0,
+            );
+            let plan = solver.solve(&model, &profile, &system).unwrap();
+            let max_cost = solver
+                .gpu_costs(&model, &profile, &system, &plan)
+                .into_iter()
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_cost + 1e-9 >= prev_cost,
+                "less HBM should never make the plan cheaper ({max_cost} vs {prev_cost})"
+            );
+            prev_cost = max_cost;
+        }
+    }
+
+    #[test]
+    fn rejects_impossible_models() {
+        let (model, profile) = setup(4, 5);
+        let system = SystemSpec::uniform(1, 16, 16, 1555.0, 16.0);
+        assert!(matches!(
+            StructuredSolver::new(RecShardConfig::default()).solve(&model, &profile, &system),
+            Err(RecShardError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (model, profile) = setup(9, 13);
+        let system =
+            SystemSpec::uniform(3, model.total_bytes() / 5, model.total_bytes(), 1555.0, 16.0);
+        let solver = StructuredSolver::new(RecShardConfig::default());
+        let a = solver.solve(&model, &profile, &system).unwrap();
+        let b = solver.solve(&model, &profile, &system).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_balance_beats_naive_round_robin_under_skew() {
+        // Construct a model whose tables have wildly different bandwidth
+        // demand and check the solver's per-GPU cost spread is tighter than a
+        // round-robin full-HBM assignment.
+        let (model, profile) = setup(12, 21);
+        let system = SystemSpec::uniform(4, model.total_bytes(), model.total_bytes(), 1555.0, 16.0);
+        let solver = StructuredSolver::new(RecShardConfig::default());
+        let plan = solver.solve(&model, &profile, &system).unwrap();
+        let costs = solver.gpu_costs(&model, &profile, &system, &plan);
+        let max = costs.iter().cloned().fold(0.0f64, f64::max);
+
+        let rr_placements = model
+            .features()
+            .iter()
+            .map(|f| TablePlacement {
+                table: f.id,
+                gpu: f.id.index() % 4,
+                hbm_rows: f.hash_size,
+                total_rows: f.hash_size,
+                row_bytes: f.row_bytes(),
+            })
+            .collect();
+        let rr = ShardingPlan::new("round-robin", 4, rr_placements);
+        let rr_max = solver
+            .gpu_costs(&model, &profile, &system, &rr)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        assert!(
+            max <= rr_max + 1e-9,
+            "RecShard max per-GPU cost {max} should not exceed round-robin {rr_max}"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the RecShard structured solver: capacity safety,
+//! plan validity and sensible behaviour across random models and systems.
+
+use proptest::prelude::*;
+use recshard::{RecShard, RecShardConfig, StructuredSolver};
+use recshard_data::ModelSpec;
+use recshard_sharding::SystemSpec;
+use recshard_stats::DatasetProfiler;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whenever the solver returns a plan it is structurally valid, within
+    /// per-GPU capacities, and covers every table exactly once.
+    #[test]
+    fn plans_are_always_capacity_safe(
+        n_tables in 2usize..14,
+        seed in 0u64..500,
+        gpus in 1usize..5,
+        hbm_denominator in 1u64..16,
+        dram_multiplier in 1u64..4,
+    ) {
+        let model = ModelSpec::small(n_tables, seed);
+        let profile = DatasetProfiler::profile_model(&model, 400, seed ^ 0xBEEF);
+        let system = SystemSpec::uniform(
+            gpus,
+            (model.total_bytes() / (gpus as u64 * hbm_denominator)).max(1),
+            model.total_bytes() * dram_multiplier,
+            1555.0,
+            16.0,
+        );
+        match RecShard::new(RecShardConfig::default()).plan(&model, &profile, &system) {
+            Ok(plan) => {
+                prop_assert!(plan.validate(&model, &system).is_ok());
+                prop_assert_eq!(plan.placements().len(), model.num_features());
+                // Hot-row budget never exceeds the table.
+                for p in plan.placements() {
+                    prop_assert!(p.hbm_rows <= p.total_rows);
+                }
+            }
+            Err(_) => {
+                // Rejection is only acceptable when the model genuinely does
+                // not fit the system.
+                prop_assert!(model.total_bytes() > system.total_capacity() / 2);
+            }
+        }
+    }
+
+    /// The solver's own objective never improves when HBM shrinks (with DRAM
+    /// held constant): less fast memory can only hurt.
+    #[test]
+    fn objective_monotone_in_hbm_capacity(n_tables in 3usize..10, seed in 0u64..300) {
+        let model = ModelSpec::small(n_tables, seed);
+        let profile = DatasetProfiler::profile_model(&model, 500, seed);
+        let solver = StructuredSolver::new(RecShardConfig::default());
+        let mut prev = 0.0f64;
+        for denom in [1u64, 3, 6, 12] {
+            let system = SystemSpec::uniform(
+                2,
+                (model.total_bytes() / denom).max(1),
+                model.total_bytes() * 2,
+                1555.0,
+                16.0,
+            );
+            let plan = solver.solve(&model, &profile, &system).unwrap();
+            let obj = solver
+                .gpu_costs(&model, &profile, &system, &plan)
+                .into_iter()
+                .fold(0.0f64, f64::max);
+            prop_assert!(obj + 1e-9 >= prev, "objective fell from {prev} to {obj} as HBM shrank");
+            prev = obj;
+        }
+    }
+
+    /// Remap tables produced by the pipeline cover each table exactly and
+    /// agree with the plan's split sizes.
+    #[test]
+    fn pipeline_remaps_match_plan(n_tables in 2usize..8, seed in 0u64..200) {
+        let model = ModelSpec::small(n_tables, seed);
+        let system = SystemSpec::uniform(
+            2,
+            (model.total_bytes() / 5).max(1),
+            model.total_bytes() * 2,
+            1555.0,
+            16.0,
+        );
+        if let Ok(out) = RecShard::default().run(&model, &system, 400, seed) {
+            for (remap, placement) in out.remap_tables.iter().zip(out.plan.placements()) {
+                prop_assert_eq!(remap.total_rows(), placement.total_rows);
+                prop_assert_eq!(remap.hbm_rows(), placement.hbm_rows);
+            }
+        }
+    }
+}

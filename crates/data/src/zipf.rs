@@ -1,0 +1,212 @@
+//! Zipf (power-law) sampling over categorical value spaces.
+//!
+//! Section 3.1 of the paper observes that the vast majority of sparse features
+//! have value frequency distributions that follow a power law with a
+//! per-feature strength. The [`Zipf`] sampler draws categorical value ranks
+//! from a Zipf distribution with configurable exponent and support size using
+//! rejection-inversion sampling (Hörmann & Derflinger), which is `O(1)` per
+//! sample even for supports in the hundreds of millions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s >= 0`.
+///
+/// `s == 0` degenerates to the uniform distribution over `1..=n`; larger `s`
+/// concentrates mass on the low ranks. Sampled ranks are returned 0-based
+/// (`0..n`) for convenient use as categorical value identifiers.
+///
+/// ```
+/// use recshard_data::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(1_000_000, 1.1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let v = zipf.sample(&mut rng);
+/// assert!(v < 1_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants for rejection-inversion sampling.
+    h_x1: f64,
+    h_n: f64,
+    dense_threshold: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` categories with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `s < 0` or `s` is not finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "support size must be non-zero");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        let h_x1 = Self::h_static(1.5, s) - 1.0;
+        let h_n = Self::h_static(n as f64 + 0.5, s);
+        let dense_threshold = 2.0 - Self::h_inv_static(Self::h_static(2.5, s) - Self::pow_neg(2.0, s), s);
+        Self { n, s, h_x1, h_n, dense_threshold }
+    }
+
+    /// The number of categories in the support.
+    pub fn support(&self) -> u64 {
+        self.n
+    }
+
+    /// The Zipf exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    #[inline]
+    fn pow_neg(x: f64, s: f64) -> f64 {
+        (-s * x.ln()).exp()
+    }
+
+    /// H(x) = ((x)^(1-s) - 1) / (1 - s), with the s->1 limit ln(x).
+    #[inline]
+    fn h_static(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+        }
+    }
+
+    #[inline]
+    fn h_inv_static(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            (1.0 + (1.0 - s) * x).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    /// Draws one 0-based categorical value, with rank 0 being the most likely.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.s == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        // Rejection-inversion sampling (Hörmann & Derflinger 1996).
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = Self::h_inv_static(u, self.s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.dense_threshold
+                || u >= Self::h_static(k + 0.5, self.s) - Self::pow_neg(k, self.s)
+            {
+                return k as u64 - 1;
+            }
+        }
+    }
+
+    /// Draws `count` 0-based categorical values.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<u64> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Exact probability mass of the 0-based rank `k` (expensive for large
+    /// `n` on first use: requires the harmonic normalizer).
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!(k < self.n, "rank out of support");
+        let z: f64 = (1..=self.n).map(|i| 1.0 / (i as f64).powf(self.s)).sum();
+        (1.0 / ((k + 1) as f64).powf(self.s)) / z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn seeded() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn samples_within_support() {
+        let zipf = Zipf::new(1000, 1.2);
+        let mut rng = seeded();
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let zipf = Zipf::new(100, 0.0);
+        let mut rng = seeded();
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "uniform sampling should be flat, got {min}..{max}");
+    }
+
+    #[test]
+    fn skew_concentrates_head() {
+        let zipf = Zipf::new(1_000_000, 1.1);
+        let mut rng = seeded();
+        let samples = zipf.sample_many(&mut rng, 50_000);
+        let head = samples.iter().filter(|&&v| v < 100).count() as f64 / samples.len() as f64;
+        // With s=1.1 and n=1e6 the top-100 ranks carry well over a third of the mass.
+        assert!(head > 0.3, "head mass too small: {head}");
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let mut rng = seeded();
+        let weak = Zipf::new(100_000, 0.6);
+        let strong = Zipf::new(100_000, 1.4);
+        let head_mass = |z: &Zipf, rng: &mut rand::rngs::StdRng| {
+            let s = z.sample_many(rng, 20_000);
+            s.iter().filter(|&&v| v < 10).count() as f64 / s.len() as f64
+        };
+        let weak_head = head_mass(&weak, &mut rng);
+        let strong_head = head_mass(&strong, &mut rng);
+        assert!(strong_head > weak_head);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_small_support() {
+        let zipf = Zipf::new(50, 0.9);
+        let total: f64 = (0..50).map(|k| zipf.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_matches_pmf_for_head() {
+        let zipf = Zipf::new(1_000, 1.0);
+        let mut rng = seeded();
+        let n = 200_000;
+        let samples = zipf.sample_many(&mut rng, n);
+        for k in 0..5u64 {
+            let expected = zipf.pmf(k);
+            let got = samples.iter().filter(|&&v| v == k).count() as f64 / n as f64;
+            assert!(
+                (got - expected).abs() < 0.01 + expected * 0.15,
+                "rank {k}: expected {expected}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support size must be non-zero")]
+    fn zero_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn exponent_one_exact_limit_handling() {
+        // s = 1.0 exercises the logarithmic branch of H.
+        let zipf = Zipf::new(10_000, 1.0);
+        let mut rng = seeded();
+        for _ in 0..5000 {
+            assert!(zipf.sample(&mut rng) < 10_000);
+        }
+    }
+}

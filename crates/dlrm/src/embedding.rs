@@ -1,0 +1,162 @@
+//! Embedding bags with sum pooling.
+
+use rand::Rng;
+use recshard_data::FeatureSpec;
+use serde::{Deserialize, Serialize};
+
+/// One embedding table with sum pooling: the DLRM's `EmbeddingBag`.
+///
+/// Raw categorical values are hashed with the feature's hasher to rows of a
+/// `hash_size x dim` table; a lookup gathers and element-wise sums the rows of
+/// all activated values (Figure 3 of the paper). Rows are updated with plain
+/// SGD on the pooled gradient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingBag {
+    hash_size: u64,
+    dim: usize,
+    weights: Vec<f32>,
+    hasher_seed: u64,
+}
+
+impl EmbeddingBag {
+    /// Creates an embedding bag for a feature spec with small random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table would be unreasonably large to hold in memory
+    /// (more than ~64M parameters); scale the model down first.
+    pub fn new<R: Rng + ?Sized>(spec: &FeatureSpec, rng: &mut R) -> Self {
+        let params = spec.hash_size * spec.embedding_dim as u64;
+        assert!(
+            params <= 64_000_000,
+            "embedding table too large to materialise ({params} parameters); use ModelSpec::scaled"
+        );
+        let dim = spec.embedding_dim as usize;
+        let mut weights = vec![0.0f32; params as usize];
+        let scale = 1.0 / (dim as f32).sqrt();
+        for w in &mut weights {
+            *w = rng.gen_range(-scale..scale);
+        }
+        Self { hash_size: spec.hash_size, dim, weights, hasher_seed: spec.hash_seed }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.hash_size
+    }
+
+    /// Hashes a raw value to its row.
+    fn row_of(&self, raw: u64) -> usize {
+        let hasher = recshard_data::FeatureHasher::new(self.hash_size, self.hasher_seed);
+        hasher.hash(raw) as usize
+    }
+
+    /// Sum-pooled lookup of a multi-hot value list. An empty list yields the
+    /// zero vector (the NULL case of Figure 3).
+    pub fn lookup(&self, raw_values: &[u64]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for &raw in raw_values {
+            let row = self.row_of(raw);
+            let base = row * self.dim;
+            for (o, w) in out.iter_mut().zip(&self.weights[base..base + self.dim]) {
+                *o += w;
+            }
+        }
+        out
+    }
+
+    /// SGD update: the gradient of the loss w.r.t. the pooled output flows
+    /// unchanged to every contributing row (sum pooling).
+    pub fn sgd_update(&mut self, raw_values: &[u64], pooled_grad: &[f32], learning_rate: f32) {
+        assert_eq!(pooled_grad.len(), self.dim, "gradient dimension mismatch");
+        for &raw in raw_values {
+            let row = self.row_of(raw);
+            let base = row * self.dim;
+            for (w, g) in self.weights[base..base + self.dim].iter_mut().zip(pooled_grad) {
+                *w -= learning_rate * g;
+            }
+        }
+    }
+
+    /// A copy of one row (for tests).
+    pub fn row(&self, row: u64) -> &[f32] {
+        let base = row as usize * self.dim;
+        &self.weights[base..base + self.dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use recshard_data::ModelSpec;
+
+    fn bag() -> (EmbeddingBag, FeatureSpec) {
+        let model = ModelSpec::small(2, 3).scaled(8);
+        let spec = model.features()[0].clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        (EmbeddingBag::new(&spec, &mut rng), spec)
+    }
+
+    #[test]
+    fn empty_lookup_is_zero_vector() {
+        let (bag, _) = bag();
+        let out = bag.lookup(&[]);
+        assert_eq!(out.len(), bag.dim());
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn lookup_sums_rows() {
+        let (bag, _) = bag();
+        let a = bag.lookup(&[1]);
+        let b = bag.lookup(&[2]);
+        let ab = bag.lookup(&[1, 2]);
+        for i in 0..bag.dim() {
+            assert!((ab[i] - (a[i] + b[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sgd_moves_only_touched_rows() {
+        let (mut bag, spec) = bag();
+        let hasher = spec.hasher();
+        let touched_row = hasher.hash(5);
+        // Find an untouched row.
+        let untouched_row = (0..spec.hash_size).find(|&r| r != touched_row).unwrap();
+        let before_touched = bag.row(touched_row).to_vec();
+        let before_untouched = bag.row(untouched_row).to_vec();
+        bag.sgd_update(&[5], &vec![1.0; bag.dim()], 0.1);
+        assert_ne!(bag.row(touched_row), before_touched.as_slice());
+        assert_eq!(bag.row(untouched_row), before_untouched.as_slice());
+    }
+
+    #[test]
+    fn duplicate_values_accumulate_gradient() {
+        let (mut bag, spec) = bag();
+        let row = spec.hasher().hash(7);
+        let before = bag.row(row)[0];
+        bag.sgd_update(&[7, 7], &vec![1.0; bag.dim()], 0.1);
+        let after = bag.row(row)[0];
+        assert!((before - after - 0.2).abs() < 1e-6, "two contributions of lr*1.0 each");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large to materialise")]
+    fn oversized_table_rejected() {
+        let model = ModelSpec::rm1();
+        let spec = model
+            .features()
+            .iter()
+            .max_by_key(|f| f.hash_size)
+            .unwrap()
+            .clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let _ = EmbeddingBag::new(&spec, &mut rng);
+    }
+}

@@ -1,0 +1,72 @@
+//! The dot-product feature interaction layer.
+
+/// Pairwise dot-product interaction (the canonical DLRM interaction): given
+/// the bottom-MLP output and every pooled embedding vector (all of the same
+/// length), computes the dot product of every unordered pair and concatenates
+/// the results with the bottom-MLP output.
+///
+/// With `n` vectors of dimension `d`, the output has `d + n*(n-1)/2` entries.
+///
+/// # Panics
+///
+/// Panics if the vectors do not all share the same dimension.
+pub fn dot_interaction(dense: &[f32], pooled_embeddings: &[Vec<f32>]) -> Vec<f32> {
+    let d = dense.len();
+    for e in pooled_embeddings {
+        assert_eq!(e.len(), d, "all interaction inputs must share one dimension");
+    }
+    let mut all: Vec<&[f32]> = Vec::with_capacity(pooled_embeddings.len() + 1);
+    all.push(dense);
+    for e in pooled_embeddings {
+        all.push(e);
+    }
+    let mut out = dense.to_vec();
+    for i in 0..all.len() {
+        for j in (i + 1)..all.len() {
+            out.push(all[i].iter().zip(all[j]).map(|(&a, &b)| a * b).sum());
+        }
+    }
+    out
+}
+
+/// Output length of [`dot_interaction`] for `num_embeddings` embedding vectors
+/// of dimension `dim`.
+pub fn interaction_output_dim(dim: usize, num_embeddings: usize) -> usize {
+    let n = num_embeddings + 1;
+    dim + n * (n - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dimension_matches_formula() {
+        let dense = vec![1.0; 4];
+        let embs = vec![vec![0.5; 4]; 3];
+        let out = dot_interaction(&dense, &embs);
+        assert_eq!(out.len(), interaction_output_dim(4, 3));
+    }
+
+    #[test]
+    fn dot_products_are_correct() {
+        let dense = vec![1.0, 2.0];
+        let embs = vec![vec![3.0, 4.0]];
+        let out = dot_interaction(&dense, &embs);
+        // [dense..., dense·emb]
+        assert_eq!(out, vec![1.0, 2.0, 11.0]);
+    }
+
+    #[test]
+    fn no_embeddings_passes_dense_through() {
+        let dense = vec![1.0, 2.0, 3.0];
+        assert_eq!(dot_interaction(&dense, &[]), dense);
+        assert_eq!(interaction_output_dim(3, 0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must share one dimension")]
+    fn mismatched_dims_panic() {
+        let _ = dot_interaction(&[1.0, 2.0], &[vec![1.0]]);
+    }
+}

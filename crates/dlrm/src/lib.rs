@@ -1,0 +1,52 @@
+//! # recshard-dlrm
+//!
+//! A from-scratch DLRM (deep learning recommendation model) substrate used by
+//! the RecShard reproduction for end-to-end examples and the Amdahl's-law
+//! end-to-end analysis (Section 6.4 of the paper).
+//!
+//! The model follows the canonical architecture of Figure 2: dense features
+//! pass through a bottom MLP, sparse features are looked up in embedding
+//! tables and sum-pooled, a dot-product feature interaction combines both,
+//! and a top MLP produces the click-through-rate (CTR) prediction trained
+//! with binary cross-entropy.
+//!
+//! Numerical training is real (small embedding dimensions, plain `f32`
+//! arithmetic, SGD); the memory behaviour of production-scale tables is
+//! simulated by `recshard-memsim`. [`HybridParallelTrainer`] combines both:
+//! it trains a real (small) DLRM while charging each training step the
+//! embedding-operator time a given sharding plan would incur on the simulated
+//! tiered-memory system — which is how the examples demonstrate RecShard's
+//! end-to-end effect.
+//!
+//! ```
+//! use recshard_data::ModelSpec;
+//! use recshard_dlrm::{DlrmConfig, DlrmModel};
+//!
+//! let spec = ModelSpec::small(4, 1).scaled(16);
+//! let emb_dim = spec.features()[0].embedding_dim as usize;
+//! let config = DlrmConfig::new(8, vec![16, emb_dim], vec![16, 8, 1]);
+//! let mut model = DlrmModel::new(&spec, &config, 42);
+//! // One training step on a tiny synthetic batch.
+//! let mut gen = recshard_data::SampleGenerator::new(&spec, 7);
+//! let batch = gen.batch(16);
+//! let dense: Vec<Vec<f32>> = (0..16).map(|i| vec![i as f32 / 16.0; 8]).collect();
+//! let labels = vec![0.0; 16];
+//! let loss = model.train_step(&dense, &batch, &labels, 0.01);
+//! assert!(loss.is_finite());
+//! ```
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod embedding;
+pub mod interaction;
+pub mod mlp;
+pub mod model;
+pub mod tensor;
+pub mod trainer;
+
+pub use embedding::EmbeddingBag;
+pub use interaction::dot_interaction;
+pub use mlp::Mlp;
+pub use model::{DlrmConfig, DlrmModel};
+pub use tensor::Matrix;
+pub use trainer::{HybridParallelTrainer, TrainingStepReport};

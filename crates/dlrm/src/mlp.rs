@@ -1,0 +1,164 @@
+//! Multi-layer perceptron with ReLU hidden layers.
+
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected MLP with ReLU activations on hidden layers and a linear
+/// final layer (the DLRM applies a sigmoid on top of the final scalar).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    weights: Vec<Matrix>,
+    biases: Vec<Vec<f32>>,
+}
+
+/// Cached activations of a forward pass, needed for the backward pass.
+#[derive(Debug, Clone)]
+pub struct MlpActivations {
+    /// `inputs[l]` is the input to layer `l`; the last entry is the output.
+    pub inputs: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes, e.g. `[13, 64, 32]` maps a
+    /// 13-dimensional input to a 32-dimensional output through one hidden
+    /// layer of 64 units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(layer_sizes: &[usize], rng: &mut R) -> Self {
+        assert!(layer_sizes.len() >= 2, "an MLP needs an input and an output size");
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for w in layer_sizes.windows(2) {
+            weights.push(Matrix::xavier(w[1], w[0], rng));
+            biases.push(vec![0.0; w[1]]);
+        }
+        Self { weights, biases }
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.weights.last().expect("non-empty").rows()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.weights.first().expect("non-empty").cols()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Forward pass returning the output and the cached activations.
+    pub fn forward(&self, input: &[f32]) -> (Vec<f32>, MlpActivations) {
+        assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
+        let mut inputs = vec![input.to_vec()];
+        let mut x = input.to_vec();
+        let last = self.weights.len() - 1;
+        for (l, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let mut y = w.matvec(&x);
+            for (yi, bi) in y.iter_mut().zip(b) {
+                *yi += bi;
+            }
+            if l != last {
+                for v in &mut y {
+                    *v = v.max(0.0);
+                }
+            }
+            inputs.push(y.clone());
+            x = y;
+        }
+        (x, MlpActivations { inputs })
+    }
+
+    /// Backward pass: given the gradient of the loss w.r.t. the output,
+    /// updates the weights with SGD and returns the gradient w.r.t. the input.
+    pub fn backward(
+        &mut self,
+        activations: &MlpActivations,
+        output_grad: &[f32],
+        learning_rate: f32,
+    ) -> Vec<f32> {
+        let mut grad = output_grad.to_vec();
+        let last = self.weights.len() - 1;
+        for l in (0..self.weights.len()).rev() {
+            // ReLU derivative on hidden layers (the stored input of layer l+1
+            // is post-activation, which is what the forward pass produced).
+            if l != last {
+                for (g, &a) in grad.iter_mut().zip(&activations.inputs[l + 1]) {
+                    if a <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            let input = &activations.inputs[l];
+            let input_grad = self.weights[l].matvec_transposed(&grad);
+            self.weights[l].sgd_outer_update(&grad, input, learning_rate);
+            for (b, &g) in self.biases[l].iter_mut().zip(&grad) {
+                *b -= learning_rate * g;
+            }
+            grad = input_grad;
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mlp = Mlp::new(&[4, 8, 3], &mut rng());
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 3);
+        assert_eq!(mlp.num_layers(), 2);
+        let (out, acts) = mlp.forward(&[0.1, -0.2, 0.3, 0.4]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(acts.inputs.len(), 3);
+    }
+
+    #[test]
+    fn relu_is_applied_to_hidden_layers() {
+        let mlp = Mlp::new(&[2, 16, 1], &mut rng());
+        let (_, acts) = mlp.forward(&[1.0, -1.0]);
+        assert!(acts.inputs[1].iter().all(|&v| v >= 0.0), "hidden activations must be non-negative");
+    }
+
+    #[test]
+    fn training_reduces_loss_on_simple_regression() {
+        // Learn y = x0 + x1 with a tiny MLP and squared loss.
+        let mut mlp = Mlp::new(&[2, 8, 1], &mut rng());
+        let mut r = rng();
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for step in 0..600 {
+            let x = [r.gen_range(-1.0f32..1.0), r.gen_range(-1.0f32..1.0)];
+            let target = x[0] + x[1];
+            let (out, acts) = mlp.forward(&x);
+            let err = out[0] - target;
+            last_loss = err * err;
+            if step == 0 {
+                first_loss = Some(last_loss);
+            }
+            mlp.backward(&acts, &[2.0 * err], 0.05);
+        }
+        assert!(last_loss < first_loss.unwrap().max(0.05), "loss should decrease: {last_loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn wrong_input_size_panics() {
+        let mlp = Mlp::new(&[3, 2], &mut rng());
+        let _ = mlp.forward(&[1.0]);
+    }
+}

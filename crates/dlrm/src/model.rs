@@ -1,0 +1,271 @@
+//! The full DLRM: bottom MLP, embedding bags, feature interaction, top MLP.
+
+use crate::embedding::EmbeddingBag;
+use crate::interaction::{dot_interaction, interaction_output_dim};
+use crate::mlp::Mlp;
+use rand::SeedableRng;
+use recshard_data::{ModelSpec, SparseSample};
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyper-parameters of a DLRM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlrmConfig {
+    /// Number of dense (continuous) input features.
+    pub dense_dim: usize,
+    /// Bottom-MLP hidden layer sizes; the last entry must equal the embedding
+    /// dimension so the interaction layer can combine them.
+    pub bottom_layers: Vec<usize>,
+    /// Top-MLP hidden layer sizes; the last entry must be 1 (the CTR logit).
+    pub top_layers: Vec<usize>,
+}
+
+impl DlrmConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either MLP stack is empty or the top stack does not end in a
+    /// single output unit.
+    pub fn new(dense_dim: usize, bottom_layers: Vec<usize>, top_layers: Vec<usize>) -> Self {
+        assert!(dense_dim > 0, "dense input dimension must be non-zero");
+        assert!(!bottom_layers.is_empty(), "bottom MLP needs at least one layer");
+        assert!(
+            top_layers.last() == Some(&1),
+            "top MLP must end in a single CTR output unit"
+        );
+        Self { dense_dim, bottom_layers, top_layers }
+    }
+}
+
+/// A trainable DLRM instance over a (scaled-down) [`ModelSpec`].
+#[derive(Debug, Clone)]
+pub struct DlrmModel {
+    config: DlrmConfig,
+    bottom: Mlp,
+    top: Mlp,
+    embeddings: Vec<EmbeddingBag>,
+}
+
+impl DlrmModel {
+    /// Builds a DLRM whose embedding tables follow `spec` (one bag per sparse
+    /// feature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bottom MLP's output dimension differs from the model's
+    /// embedding dimension, or if the spec's tables are too large to
+    /// materialise (scale the spec down first).
+    pub fn new(spec: &ModelSpec, config: &DlrmConfig, seed: u64) -> Self {
+        let emb_dim = spec.features().first().map(|f| f.embedding_dim as usize).unwrap_or(0);
+        assert!(
+            spec.features().iter().all(|f| f.embedding_dim as usize == emb_dim),
+            "all tables must share one embedding dimension"
+        );
+        assert_eq!(
+            *config.bottom_layers.last().expect("non-empty"),
+            emb_dim,
+            "bottom MLP output must match the embedding dimension"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut bottom_sizes = vec![config.dense_dim];
+        bottom_sizes.extend(&config.bottom_layers);
+        let bottom = Mlp::new(&bottom_sizes, &mut rng);
+
+        let interaction_dim = interaction_output_dim(emb_dim, spec.num_features());
+        let mut top_sizes = vec![interaction_dim];
+        top_sizes.extend(&config.top_layers);
+        let top = Mlp::new(&top_sizes, &mut rng);
+
+        let embeddings = spec
+            .features()
+            .iter()
+            .map(|f| EmbeddingBag::new(f, &mut rng))
+            .collect();
+        Self { config: config.clone(), bottom, top, embeddings }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &DlrmConfig {
+        &self.config
+    }
+
+    /// Number of embedding tables.
+    pub fn num_tables(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// Predicted click-through-rate for one sample (forward pass only).
+    pub fn predict(&self, dense: &[f32], sparse: &SparseSample) -> f32 {
+        let (bottom_out, _) = self.bottom.forward(dense);
+        let pooled: Vec<Vec<f32>> = self
+            .embeddings
+            .iter()
+            .enumerate()
+            .map(|(t, bag)| bag.lookup(&sparse.values[t]))
+            .collect();
+        let interacted = dot_interaction(&bottom_out, &pooled);
+        let (logit, _) = self.top.forward(&interacted);
+        sigmoid(logit[0])
+    }
+
+    /// One SGD training step over a batch; returns the mean binary
+    /// cross-entropy loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch slices have different lengths.
+    pub fn train_step(
+        &mut self,
+        dense_batch: &[Vec<f32>],
+        sparse_batch: &[SparseSample],
+        labels: &[f32],
+        learning_rate: f32,
+    ) -> f32 {
+        assert_eq!(dense_batch.len(), sparse_batch.len(), "batch length mismatch");
+        assert_eq!(dense_batch.len(), labels.len(), "batch length mismatch");
+        assert!(!dense_batch.is_empty(), "batch must not be empty");
+        let mut total_loss = 0.0f32;
+        let emb_dim = self.config.bottom_layers.last().copied().expect("non-empty");
+
+        for ((dense, sparse), &label) in dense_batch.iter().zip(sparse_batch).zip(labels) {
+            // ---- forward ----
+            let (bottom_out, bottom_acts) = self.bottom.forward(dense);
+            let pooled: Vec<Vec<f32>> = self
+                .embeddings
+                .iter()
+                .enumerate()
+                .map(|(t, bag)| bag.lookup(&sparse.values[t]))
+                .collect();
+            let interacted = dot_interaction(&bottom_out, &pooled);
+            let (logit, top_acts) = self.top.forward(&interacted);
+            let pred = sigmoid(logit[0]);
+            total_loss += bce_loss(pred, label);
+
+            // ---- backward ----
+            // dL/dlogit for sigmoid + BCE.
+            let dlogit = pred - label;
+            let interaction_grad = self.top.backward(&top_acts, &[dlogit], learning_rate);
+
+            // Back-prop through the dot interaction.
+            let n = pooled.len() + 1;
+            let mut all: Vec<&[f32]> = Vec::with_capacity(n);
+            all.push(&bottom_out);
+            for e in &pooled {
+                all.push(e);
+            }
+            let mut grads: Vec<Vec<f32>> = vec![vec![0.0; emb_dim]; n];
+            // The first emb_dim entries of the interaction output are the
+            // bottom-MLP output passed through unchanged.
+            grads[0].copy_from_slice(&interaction_grad[..emb_dim]);
+            let mut k = emb_dim;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let g = interaction_grad[k];
+                    for t in 0..emb_dim {
+                        grads[i][t] += g * all[j][t];
+                        grads[j][t] += g * all[i][t];
+                    }
+                    k += 1;
+                }
+            }
+
+            self.bottom.backward(&bottom_acts, &grads[0], learning_rate);
+            for (t, bag) in self.embeddings.iter_mut().enumerate() {
+                if !sparse.values[t].is_empty() {
+                    bag.sgd_update(&sparse.values[t], &grads[t + 1], learning_rate);
+                }
+            }
+        }
+        total_loss / dense_batch.len() as f32
+    }
+}
+
+/// Numerically stable sigmoid.
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy loss with clamping for numerical safety.
+fn bce_loss(pred: f32, label: f32) -> f32 {
+    let p = pred.clamp(1e-7, 1.0 - 1e-7);
+    -(label * p.ln() + (1.0 - label) * (1.0 - p).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recshard_data::SampleGenerator;
+
+    fn setup() -> (ModelSpec, DlrmModel) {
+        let spec = ModelSpec::small(4, 6).scaled(32);
+        let emb_dim = spec.features()[0].embedding_dim as usize;
+        let config = DlrmConfig::new(4, vec![8, emb_dim], vec![8, 1]);
+        let model = DlrmModel::new(&spec, &config, 3);
+        (spec, model)
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let (spec, model) = setup();
+        let mut gen = SampleGenerator::new(&spec, 1);
+        for s in gen.batch(20) {
+            let p = model.predict(&[0.1, 0.2, 0.3, 0.4], &s);
+            assert!((0.0..=1.0).contains(&p), "prediction {p} outside [0,1]");
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_learnable_rule() {
+        // Label depends on a dense feature only — easily learnable.
+        let (spec, mut model) = setup();
+        let mut gen = SampleGenerator::new(&spec, 2);
+        let mut first = None;
+        let mut last = 0.0;
+        for epoch in 0..30 {
+            let sparse = gen.batch(32);
+            let dense: Vec<Vec<f32>> = (0..32).map(|i| vec![(i % 2) as f32, 0.5, 0.1, 0.9]).collect();
+            let labels: Vec<f32> = (0..32).map(|i| (i % 2) as f32).collect();
+            last = model.train_step(&dense, &sparse, &labels, 0.1);
+            if epoch == 0 {
+                first = Some(last);
+            }
+        }
+        assert!(
+            last < first.unwrap(),
+            "loss should decrease during training: first {first:?}, last {last}"
+        );
+    }
+
+    #[test]
+    fn sigmoid_and_bce_edge_cases() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!(bce_loss(1.0, 1.0) < 1e-5);
+        assert!(bce_loss(0.0, 1.0) > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bottom MLP output must match the embedding dimension")]
+    fn mismatched_bottom_dimension_rejected() {
+        let spec = ModelSpec::small(3, 6).scaled(32);
+        let config = DlrmConfig::new(4, vec![8, 3], vec![8, 1]);
+        let _ = DlrmModel::new(&spec, &config, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch length mismatch")]
+    fn mismatched_batch_rejected() {
+        let (spec, mut model) = setup();
+        let mut gen = SampleGenerator::new(&spec, 2);
+        let sparse = gen.batch(4);
+        let dense = vec![vec![0.0; 4]; 3];
+        let labels = vec![0.0; 4];
+        let _ = model.train_step(&dense, &sparse, &labels, 0.1);
+    }
+}

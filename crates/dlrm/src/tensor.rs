@@ -1,0 +1,143 @@
+//! Minimal dense matrix type used by the MLP layers.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A row-major `rows x cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix with Xavier/Glorot-uniform initialised entries.
+    pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        for v in &mut m.data {
+            *v = rng.gen_range(-bound..bound);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// `y = W x` for a column vector `x` of length `cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            y[r] = row.iter().zip(x).map(|(&w, &v)| w * v).sum();
+        }
+        y
+    }
+
+    /// `y = W^T x` for a column vector `x` of length `rows`.
+    pub fn matvec_transposed(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch");
+        let mut y = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, &w) in row.iter().enumerate() {
+                y[c] += w * x[r];
+            }
+        }
+        y
+    }
+
+    /// Rank-1 SGD update: `W -= lr * g x^T` where `g` has length `rows` and
+    /// `x` has length `cols`.
+    pub fn sgd_outer_update(&mut self, g: &[f32], x: &[f32], lr: f32) {
+        assert_eq!(g.len(), self.rows);
+        assert_eq!(x.len(), self.cols);
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, w) in row.iter_mut().enumerate() {
+                *w -= lr * g[r] * x[c];
+            }
+        }
+    }
+
+    /// Frobenius norm (for tests and debugging).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let mut m = Matrix::zeros(2, 3);
+        *m.get_mut(0, 0) = 1.0;
+        *m.get_mut(0, 1) = 2.0;
+        *m.get_mut(0, 2) = 3.0;
+        *m.get_mut(1, 0) = 4.0;
+        *m.get_mut(1, 1) = 5.0;
+        *m.get_mut(1, 2) = 6.0;
+        let y = m.matvec(&[1.0, 0.5, 2.0]);
+        assert_eq!(y, vec![1.0 + 1.0 + 6.0, 4.0 + 2.5 + 12.0]);
+        let yt = m.matvec_transposed(&[1.0, 1.0]);
+        assert_eq!(yt, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn sgd_update_moves_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut m = Matrix::xavier(3, 2, &mut rng);
+        let before = m.norm();
+        m.sgd_outer_update(&[1.0, 1.0, 1.0], &[1.0, 1.0], 0.1);
+        assert_ne!(before, m.norm());
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = Matrix::xavier(10, 10, &mut rng);
+        let bound = (6.0 / 20.0f32).sqrt();
+        for r in 0..10 {
+            for c in 0..10 {
+                assert!(m.get(r, c).abs() <= bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let m = Matrix::zeros(2, 3);
+        let _ = m.matvec(&[1.0, 2.0]);
+    }
+}

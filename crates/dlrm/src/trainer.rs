@@ -1,0 +1,167 @@
+//! Hybrid-parallel training: real (small) numerics plus simulated
+//! production-scale embedding timing.
+//!
+//! Production DLRM training replicates the MLPs across trainers (data
+//! parallelism) and shards the embedding tables (model parallelism), so the
+//! per-iteration critical path is `max(embedding time across GPUs)` plus the
+//! (roughly constant) MLP and communication time. [`HybridParallelTrainer`]
+//! couples a real, scaled-down [`DlrmModel`] with the tiered-memory simulator:
+//! every training step performs actual SGD on the small model while charging
+//! the step the embedding-operator time that the *production-scale* plan
+//! would incur, which is what the end-to-end examples and the Amdahl analysis
+//! of Section 6.4 need.
+
+use crate::model::DlrmModel;
+use rand::SeedableRng;
+use recshard_data::SampleGenerator;
+use recshard_memsim::EmbeddingOpSimulator;
+use serde::{Deserialize, Serialize};
+
+/// Timing and loss of one hybrid training step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingStepReport {
+    /// Mean BCE loss of the step.
+    pub loss: f32,
+    /// Simulated embedding-operator time of the slowest GPU, in ms.
+    pub embedding_time_ms: f64,
+    /// Modelled dense (MLP + interaction + communication) time, in ms.
+    pub dense_time_ms: f64,
+}
+
+impl TrainingStepReport {
+    /// Total critical-path step time in milliseconds.
+    pub fn step_time_ms(&self) -> f64 {
+        self.embedding_time_ms + self.dense_time_ms
+    }
+
+    /// Fraction of the step spent in embedding operations (the `p` of the
+    /// paper's Amdahl's-law discussion).
+    pub fn embedding_fraction(&self) -> f64 {
+        self.embedding_time_ms / self.step_time_ms()
+    }
+}
+
+/// A trainer coupling real small-scale numerics with simulated
+/// production-scale embedding timing.
+#[derive(Debug)]
+pub struct HybridParallelTrainer {
+    model: DlrmModel,
+    simulator: EmbeddingOpSimulator,
+    sample_gen: SampleGenerator,
+    dense_time_ms: f64,
+    simulated_batch: usize,
+    rng: rand::rngs::StdRng,
+    steps_run: usize,
+}
+
+impl HybridParallelTrainer {
+    /// Creates a trainer.
+    ///
+    /// `dense_time_ms` models the data-parallel (MLP + communication) part of
+    /// a step, which sharding does not affect; `simulated_batch` is the
+    /// number of samples the memory simulator traces per step.
+    pub fn new(
+        model: DlrmModel,
+        simulator: EmbeddingOpSimulator,
+        sample_gen: SampleGenerator,
+        dense_time_ms: f64,
+        simulated_batch: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(dense_time_ms >= 0.0, "dense time must be non-negative");
+        assert!(simulated_batch > 0, "simulated batch must be non-zero");
+        Self {
+            model,
+            simulator,
+            sample_gen,
+            dense_time_ms,
+            simulated_batch,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            steps_run: 0,
+        }
+    }
+
+    /// Number of training steps run so far.
+    pub fn steps_run(&self) -> usize {
+        self.steps_run
+    }
+
+    /// The underlying numeric model.
+    pub fn model(&self) -> &DlrmModel {
+        &self.model
+    }
+
+    /// Runs one training step on `numeric_batch` freshly drawn samples,
+    /// labelling each sample with a synthetic CTR rule (label 1 when the
+    /// first dense feature exceeds 0.5).
+    pub fn step(&mut self, numeric_batch: usize, learning_rate: f32) -> TrainingStepReport {
+        assert!(numeric_batch > 0, "numeric batch must be non-zero");
+        // Real numerics on the small model.
+        let sparse = self.sample_gen.batch(numeric_batch);
+        let dense: Vec<Vec<f32>> = (0..numeric_batch)
+            .map(|i| {
+                let x = (i as f32 * 0.37 + self.steps_run as f32 * 0.11).fract();
+                vec![x; self.model.config().dense_dim]
+            })
+            .collect();
+        let labels: Vec<f32> = dense.iter().map(|d| if d[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let loss = self.model.train_step(&dense, &sparse, &labels, learning_rate);
+
+        // Simulated production-scale embedding time for the sharding plan.
+        let report = self.simulator.run_iteration(self.simulated_batch, &mut self.rng);
+        self.steps_run += 1;
+        TrainingStepReport {
+            loss,
+            embedding_time_ms: report.iteration_time_ms(),
+            dense_time_ms: self.dense_time_ms,
+        }
+    }
+
+    /// Runs `steps` training steps and returns the per-step reports.
+    pub fn run(&mut self, steps: usize, numeric_batch: usize, learning_rate: f32) -> Vec<TrainingStepReport> {
+        (0..steps).map(|_| self.step(numeric_batch, learning_rate)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DlrmConfig, DlrmModel};
+    use recshard_data::ModelSpec;
+    use recshard_memsim::SimConfig;
+    use recshard_sharding::{GreedySharder, SizeCost, SystemSpec};
+    use recshard_stats::DatasetProfiler;
+
+    fn build_trainer() -> HybridParallelTrainer {
+        let spec = ModelSpec::small(4, 6).scaled(32);
+        let emb_dim = spec.features()[0].embedding_dim as usize;
+        let dlrm = DlrmModel::new(&spec, &DlrmConfig::new(4, vec![8, emb_dim], vec![8, 1]), 3);
+        let profile = DatasetProfiler::profile_model(&spec, 800, 5);
+        let system = SystemSpec::uniform(2, spec.total_bytes(), spec.total_bytes(), 1555.0, 16.0);
+        let plan = GreedySharder::new(SizeCost).shard(&spec, &profile, &system).unwrap();
+        let sim = EmbeddingOpSimulator::new(&spec, &plan, &profile, &system, SimConfig::default());
+        let gen = SampleGenerator::new(&spec, 9);
+        HybridParallelTrainer::new(dlrm, sim, gen, 5.0, 32, 11)
+    }
+
+    #[test]
+    fn step_reports_are_consistent() {
+        let mut trainer = build_trainer();
+        let report = trainer.step(16, 0.05);
+        assert!(report.loss.is_finite() && report.loss >= 0.0);
+        assert!(report.embedding_time_ms >= 0.0);
+        assert!((report.step_time_ms() - (report.embedding_time_ms + 5.0)).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&report.embedding_fraction()));
+        assert_eq!(trainer.steps_run(), 1);
+    }
+
+    #[test]
+    fn multi_step_training_learns_the_dense_rule() {
+        let mut trainer = build_trainer();
+        let reports = trainer.run(25, 32, 0.1);
+        assert_eq!(reports.len(), 25);
+        let first: f32 = reports[..5].iter().map(|r| r.loss).sum::<f32>() / 5.0;
+        let last: f32 = reports[20..].iter().map(|r| r.loss).sum::<f32>() / 5.0;
+        assert!(last <= first * 1.05, "loss should not increase: first {first}, last {last}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # recshard-milp
+//!
+//! A small, dependency-free mixed-integer linear programming (MILP) solver:
+//! a dense-tableau Big-M simplex for linear programs plus best-first
+//! branch-and-bound for integrality.
+//!
+//! The RecShard paper solves its embedding-table partitioning and placement
+//! problem with Gurobi. Gurobi is proprietary and unavailable here, so this
+//! crate provides the substrate needed to state the *exact same formulation*
+//! (Section 4.2, constraints 1–12) and solve it exactly for small instances;
+//! the `recshard` crate then layers a structured large-scale solver on top and
+//! validates it against this exact solver.
+//!
+//! The solver targets problems with up to a few hundred variables and
+//! constraints — more than enough for formulation-level ground truth — and is
+//! not intended to compete with industrial solvers.
+//!
+//! ```
+//! use recshard_milp::{ConstraintSense, Model, Sense, VarKind};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4, x <= 2, x,y >= 0 integer
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 3.0);
+//! let y = m.add_var("y", VarKind::Integer, 0.0, f64::INFINITY, 2.0);
+//! m.add_constraint("cap", vec![(x, 1.0), (y, 1.0)], ConstraintSense::Le, 4.0);
+//! m.add_constraint("xcap", vec![(x, 1.0)], ConstraintSense::Le, 2.0);
+//! let sol = m.solve().unwrap();
+//! assert_eq!(sol.value(x).round() as i64, 2);
+//! assert_eq!(sol.value(y).round() as i64, 2);
+//! assert!((sol.objective() - 10.0).abs() < 1e-6);
+//! ```
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod branch;
+pub mod error;
+pub mod model;
+pub mod simplex;
+pub mod solution;
+
+pub use error::MilpError;
+pub use model::{Constraint, ConstraintSense, Model, Sense, VarId, VarKind, Variable};
+pub use solution::{Solution, SolveStats, Status};

@@ -1,0 +1,121 @@
+//! Property-based tests for the MILP solver: solutions are always feasible,
+//! and on small binary knapsacks branch-and-bound matches brute force.
+
+use proptest::prelude::*;
+use recshard_milp::{ConstraintSense, Model, Sense, Status};
+
+/// Brute-force optimum of a 0/1 knapsack.
+fn knapsack_brute_force(values: &[f64], weights: &[f64], capacity: f64) -> f64 {
+    let n = values.len();
+    let mut best = 0.0f64;
+    for mask in 0..(1u32 << n) {
+        let mut v = 0.0;
+        let mut w = 0.0;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                v += values[i];
+                w += weights[i];
+            }
+        }
+        if w <= capacity + 1e-9 && v > best {
+            best = v;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Branch-and-bound matches exhaustive enumeration on random knapsacks.
+    #[test]
+    fn knapsack_matches_brute_force(
+        values in prop::collection::vec(1.0f64..20.0, 2..8),
+        weights_raw in prop::collection::vec(1.0f64..10.0, 2..8),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let n = values.len().min(weights_raw.len());
+        let values = &values[..n];
+        let weights = &weights_raw[..n];
+        let capacity = weights.iter().sum::<f64>() * cap_frac;
+
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| m.add_binary(format!("x{i}"), v))
+            .collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().zip(weights).map(|(&v, &w)| (v, w)).collect(),
+            ConstraintSense::Le,
+            capacity,
+        );
+        let sol = m.solve().expect("knapsack always feasible (empty set)");
+        prop_assert_eq!(sol.status(), Status::Optimal);
+        let expected = knapsack_brute_force(values, weights, capacity);
+        prop_assert!((sol.objective() - expected).abs() < 1e-6,
+            "B&B gave {} but brute force gives {}", sol.objective(), expected);
+        // And the returned assignment must itself be feasible.
+        prop_assert!(m.is_feasible(sol.values(), 1e-6));
+    }
+
+    /// Whatever the solver returns for a random feasible-by-construction LP
+    /// satisfies every constraint and bound.
+    #[test]
+    fn lp_solutions_are_feasible(
+        coeffs in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 3), 1..5),
+        bounds in prop::collection::vec(1.0f64..50.0, 1..5),
+        obj in prop::collection::vec(-3.0f64..3.0, 3),
+    ) {
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = obj
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| m.add_var(format!("x{i}"), recshard_milp::VarKind::Continuous, 0.0, 20.0, c))
+            .collect();
+        // Constraints of the form a·x <= b with b > 0 are always feasible at x = 0.
+        for (row, b) in coeffs.iter().zip(&bounds) {
+            m.add_constraint(
+                "c",
+                vars.iter().zip(row).map(|(&v, &a)| (v, a)).collect(),
+                ConstraintSense::Le,
+                *b,
+            );
+        }
+        let sol = m.solve().expect("x = 0 is always feasible");
+        prop_assert!(m.is_feasible(sol.values(), 1e-5));
+    }
+
+    /// Min-max assignment MILPs (the RecShard structure) always return a
+    /// makespan at least as large as the trivial lower bound
+    /// `max(total/machines, max item)` and no larger than the total.
+    #[test]
+    fn min_max_assignment_bounds(costs in prop::collection::vec(1.0f64..10.0, 2..6)) {
+        let gpus = 2usize;
+        let mut m = Model::new(Sense::Minimize);
+        let c = m.add_continuous("C", 1.0);
+        let mut assign = Vec::new();
+        for (j, _) in costs.iter().enumerate() {
+            let row: Vec<_> = (0..gpus).map(|g| m.add_binary(format!("p{g}_{j}"), 0.0)).collect();
+            m.add_constraint(
+                format!("one_{j}"),
+                row.iter().map(|&v| (v, 1.0)).collect(),
+                ConstraintSense::Eq,
+                1.0,
+            );
+            assign.push(row);
+        }
+        for g in 0..gpus {
+            let mut terms: Vec<_> = costs.iter().enumerate().map(|(j, &w)| (assign[j][g], w)).collect();
+            terms.push((c, -1.0));
+            m.add_constraint(format!("load_{g}"), terms, ConstraintSense::Le, 0.0);
+        }
+        let sol = m.solve().expect("assignment always feasible");
+        let total: f64 = costs.iter().sum();
+        let max_item = costs.iter().cloned().fold(0.0f64, f64::max);
+        let lower = (total / gpus as f64).max(max_item);
+        prop_assert!(sol.objective() + 1e-6 >= lower);
+        prop_assert!(sol.objective() <= total + 1e-6);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-table cost functions used by the baseline sharders (Section 5, Step I).
+
+use recshard_data::FeatureSpec;
+use recshard_stats::FeatureProfile;
+
+/// A function assigning a fixed scalar cost to an embedding table, used by
+/// the greedy baseline sharders to order and balance tables.
+pub trait CostFunction: std::fmt::Debug {
+    /// Short machine-readable name of the cost function (used as the plan's
+    /// strategy label).
+    fn name(&self) -> &'static str;
+
+    /// The cost of a table given its static spec and its profiled statistics.
+    fn cost(&self, spec: &FeatureSpec, profile: &FeatureProfile) -> f64;
+}
+
+/// "Size" baseline: cost = hash size × embedding dimension.
+///
+/// Captures only the memory *capacity* footprint of a table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SizeCost;
+
+impl CostFunction for SizeCost {
+    fn name(&self) -> &'static str {
+        "size"
+    }
+
+    fn cost(&self, spec: &FeatureSpec, _profile: &FeatureProfile) -> f64 {
+        spec.hash_size as f64 * spec.embedding_dim as f64
+    }
+}
+
+/// "Lookup" baseline: cost = average pooling factor × embedding dimension.
+///
+/// Captures only the memory *bandwidth* footprint of a table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LookupCost;
+
+impl CostFunction for LookupCost {
+    fn name(&self) -> &'static str {
+        "lookup"
+    }
+
+    fn cost(&self, spec: &FeatureSpec, profile: &FeatureProfile) -> f64 {
+        let pooling = if profile.present_samples > 0 {
+            profile.avg_pooling
+        } else {
+            spec.avg_pooling()
+        };
+        pooling * spec.embedding_dim as f64
+    }
+}
+
+/// "Size-and-Lookup" baseline: cost = lookup cost × log10(hash size),
+/// a non-linear combination attempting to capture the caching benefit of
+/// small tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SizeLookupCost;
+
+impl CostFunction for SizeLookupCost {
+    fn name(&self) -> &'static str {
+        "size-lookup"
+    }
+
+    fn cost(&self, spec: &FeatureSpec, profile: &FeatureProfile) -> f64 {
+        LookupCost.cost(spec, profile) * (spec.hash_size.max(2) as f64).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recshard_data::ModelSpec;
+    use recshard_stats::DatasetProfiler;
+
+    fn setup() -> (ModelSpec, recshard_stats::DatasetProfile) {
+        let model = ModelSpec::small(6, 4);
+        let profile = DatasetProfiler::profile_model(&model, 1_500, 2);
+        (model, profile)
+    }
+
+    #[test]
+    fn size_cost_scales_with_table_size() {
+        let (model, profile) = setup();
+        let costs: Vec<f64> = model
+            .features()
+            .iter()
+            .zip(profile.profiles())
+            .map(|(s, p)| SizeCost.cost(s, p))
+            .collect();
+        for (f, &c) in model.features().iter().zip(&costs) {
+            assert_eq!(c, f.hash_size as f64 * f.embedding_dim as f64);
+        }
+    }
+
+    #[test]
+    fn lookup_cost_tracks_pooling() {
+        let (model, profile) = setup();
+        for (s, p) in model.features().iter().zip(profile.profiles()) {
+            let c = LookupCost.cost(s, p);
+            if p.present_samples > 0 {
+                assert!((c - p.avg_pooling * s.embedding_dim as f64).abs() < 1e-9);
+            }
+            assert!(c >= 0.0);
+        }
+    }
+
+    #[test]
+    fn size_lookup_combines_both() {
+        let (model, profile) = setup();
+        for (s, p) in model.features().iter().zip(profile.profiles()) {
+            let combined = SizeLookupCost.cost(s, p);
+            let lookup = LookupCost.cost(s, p);
+            assert!((combined - lookup * (s.hash_size as f64).log10()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [SizeCost.name(), LookupCost.name(), SizeLookupCost.name()];
+        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+
+    #[test]
+    fn lookup_cost_falls_back_to_spec_when_unprofiled() {
+        let model = ModelSpec::small(2, 1);
+        let spec = &model.features()[0];
+        let empty = recshard_stats::FeatureProfile::empty(spec);
+        let c = LookupCost.cost(spec, &empty);
+        assert!((c - spec.avg_pooling() * spec.embedding_dim as f64).abs() < 1e-9);
+    }
+}

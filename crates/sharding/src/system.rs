@@ -1,0 +1,154 @@
+//! Training-system specification (Section 5.2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bytes in one gibibyte.
+pub const GIB: u64 = 1 << 30;
+
+/// Description of the (homogeneous) training system: GPU count, per-GPU HBM
+/// reserved for embeddings, per-GPU host DRAM reachable over UVM, and the
+/// bandwidths of both tiers as seen from a GPU.
+///
+/// The paper's evaluation system reserves 24 GB of HBM and 128 GB of host
+/// DRAM per GPU, with A100-class HBM bandwidth and PCIe 3.0x16 UVM bandwidth;
+/// [`SystemSpec::paper_16_gpu`] encodes exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// Number of GPUs (trainers).
+    pub num_gpus: usize,
+    /// HBM bytes reserved for embedding tables on each GPU (`Cap_D`).
+    pub hbm_capacity_per_gpu: u64,
+    /// Host DRAM bytes reachable via UVM for each GPU (`Cap_H`).
+    pub dram_capacity_per_gpu: u64,
+    /// HBM bandwidth in GB/s as seen by the embedding kernels (`BW_HBM`).
+    pub hbm_bandwidth_gbps: f64,
+    /// UVM (interconnect) bandwidth in GB/s (`BW_UVM`).
+    pub uvm_bandwidth_gbps: f64,
+}
+
+impl SystemSpec {
+    /// Builds a homogeneous system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus == 0` or either bandwidth is not positive.
+    pub fn uniform(
+        num_gpus: usize,
+        hbm_capacity_per_gpu: u64,
+        dram_capacity_per_gpu: u64,
+        hbm_bandwidth_gbps: f64,
+        uvm_bandwidth_gbps: f64,
+    ) -> Self {
+        assert!(num_gpus > 0, "system needs at least one GPU");
+        assert!(
+            hbm_bandwidth_gbps > 0.0 && uvm_bandwidth_gbps > 0.0,
+            "bandwidths must be positive"
+        );
+        Self {
+            num_gpus,
+            hbm_capacity_per_gpu,
+            dram_capacity_per_gpu,
+            hbm_bandwidth_gbps,
+            uvm_bandwidth_gbps,
+        }
+    }
+
+    /// The 16-GPU evaluation system of the paper: 24 GB HBM + 128 GB host
+    /// DRAM per GPU, A100-class HBM bandwidth (1555 GB/s) and PCIe 3.0x16 UVM
+    /// bandwidth (16 GB/s single-direction achievable).
+    pub fn paper_16_gpu() -> Self {
+        Self::uniform(16, 24 * GIB, 128 * GIB, 1555.0, 16.0)
+    }
+
+    /// Same memory geometry as [`paper_16_gpu`](Self::paper_16_gpu) with a
+    /// different GPU count.
+    pub fn paper_with_gpus(num_gpus: usize) -> Self {
+        let mut s = Self::paper_16_gpu();
+        assert!(num_gpus > 0, "system needs at least one GPU");
+        s.num_gpus = num_gpus;
+        s
+    }
+
+    /// Returns a copy with per-GPU capacities divided by `factor` (bandwidths
+    /// unchanged). Scaling the system and the model by the same factor keeps
+    /// the capacity *pressure* — and hence the placement problem — unchanged
+    /// while shrinking simulation state.
+    pub fn scaled(&self, factor: u64) -> Self {
+        assert!(factor > 0, "scale factor must be non-zero");
+        Self {
+            num_gpus: self.num_gpus,
+            hbm_capacity_per_gpu: (self.hbm_capacity_per_gpu / factor).max(1),
+            dram_capacity_per_gpu: (self.dram_capacity_per_gpu / factor).max(1),
+            hbm_bandwidth_gbps: self.hbm_bandwidth_gbps,
+            uvm_bandwidth_gbps: self.uvm_bandwidth_gbps,
+        }
+    }
+
+    /// Total HBM bytes reserved for embeddings across all GPUs.
+    pub fn total_hbm_capacity(&self) -> u64 {
+        self.hbm_capacity_per_gpu * self.num_gpus as u64
+    }
+
+    /// Total host DRAM bytes reachable via UVM across all GPUs.
+    pub fn total_dram_capacity(&self) -> u64 {
+        self.dram_capacity_per_gpu * self.num_gpus as u64
+    }
+
+    /// Total memory available to embeddings across all tiers and GPUs.
+    pub fn total_capacity(&self) -> u64 {
+        self.total_hbm_capacity() + self.total_dram_capacity()
+    }
+
+    /// Ratio of HBM to UVM bandwidth — the penalty factor for placing hot
+    /// rows in the wrong tier (two orders of magnitude on the paper's system).
+    pub fn bandwidth_ratio(&self) -> f64 {
+        self.hbm_bandwidth_gbps / self.uvm_bandwidth_gbps
+    }
+}
+
+impl Default for SystemSpec {
+    fn default() -> Self {
+        Self::paper_16_gpu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_geometry() {
+        let s = SystemSpec::paper_16_gpu();
+        assert_eq!(s.num_gpus, 16);
+        assert_eq!(s.total_hbm_capacity(), 16 * 24 * GIB);
+        assert_eq!(s.total_dram_capacity(), 16 * 128 * GIB);
+        assert!(s.bandwidth_ratio() > 90.0, "HBM should be ~100x faster than UVM");
+    }
+
+    #[test]
+    fn scaled_system_divides_capacity_only() {
+        let s = SystemSpec::paper_16_gpu().scaled(1024);
+        assert_eq!(s.hbm_capacity_per_gpu, 24 * GIB / 1024);
+        assert_eq!(s.hbm_bandwidth_gbps, 1555.0);
+        assert_eq!(s.num_gpus, 16);
+    }
+
+    #[test]
+    fn gpu_count_override() {
+        let s = SystemSpec::paper_with_gpus(8);
+        assert_eq!(s.num_gpus, 8);
+        assert_eq!(s.hbm_capacity_per_gpu, 24 * GIB);
+    }
+
+    #[test]
+    #[should_panic(expected = "system needs at least one GPU")]
+    fn zero_gpus_rejected() {
+        let _ = SystemSpec::uniform(0, 1, 1, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidths must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = SystemSpec::uniform(1, 1, 1, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for sharding plans, the greedy baselines and the
+//! remapping tables.
+
+use proptest::prelude::*;
+use recshard_data::{FeatureId, ModelSpec};
+use recshard_sharding::{
+    GreedySharder, LookupCost, MemoryTier, RemapTable, SizeCost, SizeLookupCost, SystemSpec,
+    TablePlacement,
+};
+use recshard_stats::DatasetProfiler;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every row of a remapped table lands in exactly one tier with dense,
+    /// unique slots per tier, regardless of the ranking or the HBM budget.
+    #[test]
+    fn remap_is_a_partition(
+        total_rows in 1u64..400,
+        hbm_budget in 0u64..500,
+        ranking_seed in any::<u64>(),
+    ) {
+        // A pseudo-random permutation prefix as the "hottest rows" ranking.
+        let mut ranked: Vec<u64> = (0..total_rows).collect();
+        let mut state = ranking_seed | 1;
+        for i in (1..ranked.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ranked.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let ranked_prefix = &ranked[..(ranked.len() / 2)];
+
+        let placement = TablePlacement {
+            table: FeatureId(0),
+            gpu: 0,
+            hbm_rows: hbm_budget.min(total_rows),
+            total_rows,
+            row_bytes: 64,
+        };
+        let remap = RemapTable::build(&placement, ranked_prefix);
+        prop_assert_eq!(remap.total_rows(), total_rows);
+        prop_assert_eq!(remap.hbm_rows() + remap.uvm_rows(), total_rows);
+        prop_assert_eq!(remap.hbm_rows(), placement.hbm_rows);
+
+        let mut hbm_slots = std::collections::HashSet::new();
+        let mut uvm_slots = std::collections::HashSet::new();
+        for row in 0..total_rows {
+            let r = remap.lookup(row);
+            match r.tier {
+                MemoryTier::Hbm => prop_assert!(hbm_slots.insert(r.slot) && r.slot < remap.hbm_rows()),
+                MemoryTier::Uvm => prop_assert!(uvm_slots.insert(r.slot) && r.slot < remap.uvm_rows()),
+            }
+        }
+    }
+
+    /// Greedy baseline plans are always structurally valid and within
+    /// capacity whenever the sharder succeeds, for all three cost functions.
+    #[test]
+    fn greedy_plans_are_valid(
+        n_tables in 2usize..12,
+        seed in 0u64..200,
+        gpus in 1usize..5,
+        hbm_denominator in 1u64..12,
+    ) {
+        let model = ModelSpec::small(n_tables, seed);
+        let profile = DatasetProfiler::profile_model(&model, 300, seed ^ 0xF00D);
+        let system = SystemSpec::uniform(
+            gpus,
+            (model.total_bytes() / (gpus as u64 * hbm_denominator)).max(1),
+            model.total_bytes() * 2,
+            1555.0,
+            16.0,
+        );
+        for plan in [
+            GreedySharder::new(SizeCost).shard(&model, &profile, &system),
+            GreedySharder::new(LookupCost).shard(&model, &profile, &system),
+            GreedySharder::new(SizeLookupCost).shard(&model, &profile, &system),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            prop_assert!(plan.validate(&model, &system).is_ok());
+            // Baselines never split a table.
+            for p in plan.placements() {
+                prop_assert!(p.hbm_rows == 0 || p.hbm_rows == p.total_rows);
+            }
+        }
+    }
+
+    /// Plan accounting identities: per-GPU byte sums equal the model total,
+    /// and UVM row fractions stay in [0, 1].
+    #[test]
+    fn plan_accounting_identities(n_tables in 2usize..10, seed in 0u64..200, gpus in 1usize..4) {
+        let model = ModelSpec::small(n_tables, seed);
+        let profile = DatasetProfiler::profile_model(&model, 200, seed);
+        let system = SystemSpec::uniform(gpus, model.total_bytes(), model.total_bytes(), 1555.0, 16.0);
+        let plan = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
+        let hbm: u64 = plan.hbm_bytes_per_gpu().iter().sum();
+        let uvm: u64 = plan.uvm_bytes_per_gpu().iter().sum();
+        prop_assert_eq!(hbm + uvm, model.total_bytes());
+        prop_assert!((0.0..=1.0).contains(&plan.uvm_row_fraction()));
+        prop_assert!((0.0..=1.0).contains(&plan.mean_table_uvm_fraction()));
+    }
+}

@@ -1,0 +1,297 @@
+//! Access-frequency CDFs and their piece-wise linear inverse (ICDF).
+//!
+//! Figure 5 of the paper plots, per feature, the cumulative fraction of all
+//! table accesses covered by the hottest fraction of rows. RecShard's MILP
+//! uses the *inverse* of that CDF — "how many rows do I need in HBM to cover
+//! X% of accesses" — approximated by 100 uniformly spaced steps
+//! (Section 4.2, constraints 4–7).
+
+use crate::freq::FrequencyMap;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative distribution of accesses over ranked rows for one table.
+///
+/// Rows are ranked hottest-first; `cdf.access_fraction(k)` is the fraction of
+/// all accesses covered by the `k` hottest rows. Rows never accessed during
+/// profiling are not part of the ranking (their cumulative contribution is
+/// zero), so `rows_ranked() <= hash_size`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessCdf {
+    /// Cumulative access counts: `cumulative[i]` = accesses covered by the
+    /// `i + 1` hottest rows.
+    cumulative: Vec<u64>,
+    total: u64,
+}
+
+impl AccessCdf {
+    /// Builds the CDF from a per-row frequency map.
+    pub fn from_frequency(freq: &FrequencyMap) -> Self {
+        let counts = freq.ranked_counts();
+        let mut cumulative = Vec::with_capacity(counts.len());
+        let mut running = 0u64;
+        for c in counts {
+            running += c;
+            cumulative.push(running);
+        }
+        Self { cumulative, total: freq.total_accesses() }
+    }
+
+    /// Builds a CDF directly from descending per-row access counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts are not sorted in descending order.
+    pub fn from_ranked_counts(counts: &[u64]) -> Self {
+        assert!(
+            counts.windows(2).all(|w| w[0] >= w[1]),
+            "ranked counts must be descending"
+        );
+        let mut cumulative = Vec::with_capacity(counts.len());
+        let mut running = 0u64;
+        for &c in counts {
+            running += c;
+            cumulative.push(running);
+        }
+        Self { total: running, cumulative }
+    }
+
+    /// A degenerate CDF for a table that was never accessed during profiling.
+    pub fn empty() -> Self {
+        Self { cumulative: Vec::new(), total: 0 }
+    }
+
+    /// Total number of profiled accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct rows that received at least one access.
+    pub fn rows_ranked(&self) -> u64 {
+        self.cumulative.len() as u64
+    }
+
+    /// Fraction of accesses covered by the `rows` hottest rows (in `[0, 1]`).
+    pub fn access_fraction(&self, rows: u64) -> f64 {
+        if self.total == 0 || rows == 0 {
+            return 0.0;
+        }
+        let idx = (rows.min(self.cumulative.len() as u64) - 1) as usize;
+        self.cumulative[idx] as f64 / self.total as f64
+    }
+
+    /// Minimum number of hottest rows needed to cover at least `fraction` of
+    /// all accesses. `fraction` is clamped to `[0, 1]`.
+    pub fn rows_for_access_fraction(&self, fraction: f64) -> u64 {
+        let fraction = fraction.clamp(0.0, 1.0);
+        if self.total == 0 || fraction == 0.0 {
+            return 0;
+        }
+        let target = (fraction * self.total as f64).ceil() as u64;
+        // Binary search for the first cumulative count >= target.
+        match self.cumulative.binary_search_by(|&c| {
+            if c < target {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        }) {
+            Ok(i) | Err(i) => (i as u64 + 1).min(self.cumulative.len() as u64),
+        }
+    }
+
+    /// The piece-wise linear inverse CDF used by the MILP: `steps + 1` points,
+    /// where point `i` is the number of rows needed to cover `i / steps` of
+    /// all accesses (Section 4.2 uses `steps = 100`).
+    pub fn icdf(&self, steps: usize) -> Icdf {
+        assert!(steps >= 1, "ICDF needs at least one step");
+        let rows = (0..=steps)
+            .map(|i| self.rows_for_access_fraction(i as f64 / steps as f64))
+            .collect();
+        Icdf { rows }
+    }
+
+    /// Gini-style skew indicator: fraction of accesses covered by the top 1%
+    /// of *accessed* rows. Close to 0.01 for uniform access, close to 1.0 for
+    /// extremely skewed tables.
+    pub fn top_percent_share(&self, percent: f64) -> f64 {
+        if self.cumulative.is_empty() {
+            return 0.0;
+        }
+        let rows = ((self.cumulative.len() as f64) * percent / 100.0).ceil().max(1.0) as u64;
+        self.access_fraction(rows)
+    }
+
+    /// Normalised CDF points `(row_fraction, access_fraction)` for plotting
+    /// (Figure 5). Produces at most `max_points` points.
+    pub fn curve(&self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.cumulative.is_empty() {
+            return vec![(0.0, 0.0)];
+        }
+        let n = self.cumulative.len();
+        let step = (n / max_points.max(1)).max(1);
+        let mut pts = Vec::new();
+        pts.push((0.0, 0.0));
+        let mut i = step - 1;
+        while i < n {
+            pts.push((
+                (i + 1) as f64 / n as f64,
+                self.cumulative[i] as f64 / self.total as f64,
+            ));
+            i += step;
+        }
+        if pts.last().map(|p| p.0) != Some(1.0) {
+            pts.push((1.0, 1.0));
+        }
+        pts
+    }
+}
+
+/// Piece-wise linear inverse CDF: maps an access-percentage step to the
+/// number of rows required (the paper's `ICDF_j(i)` in constraint 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Icdf {
+    rows: Vec<u64>,
+}
+
+impl Icdf {
+    /// Number of steps (the paper uses 100, giving 101 points).
+    pub fn steps(&self) -> usize {
+        self.rows.len() - 1
+    }
+
+    /// Number of rows needed to reach step `i` (access fraction `i / steps`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > steps`.
+    pub fn rows_at_step(&self, i: usize) -> u64 {
+        self.rows[i]
+    }
+
+    /// The access fraction corresponding to step `i`.
+    pub fn fraction_at_step(&self, i: usize) -> f64 {
+        i as f64 / self.steps() as f64
+    }
+
+    /// All `(fraction, rows)` points.
+    pub fn points(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let steps = self.steps();
+        self.rows
+            .iter()
+            .enumerate()
+            .map(move |(i, &r)| (i as f64 / steps as f64, r))
+    }
+
+    /// Maximum number of rows (the rows needed for 100% access coverage —
+    /// i.e. every row that was ever accessed).
+    pub fn max_rows(&self) -> u64 {
+        *self.rows.last().expect("ICDF has at least one point")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_freq() -> FrequencyMap {
+        // Row 0: 1000 accesses, rows 1..=9: 10 each, rows 10..=109: 1 each.
+        let mut f = FrequencyMap::new();
+        f.record_n(0, 1000);
+        for r in 1..=9u64 {
+            f.record_n(r, 10);
+        }
+        for r in 10..110u64 {
+            f.record_n(r, 1);
+        }
+        f
+    }
+
+    #[test]
+    fn cdf_monotone_and_normalised() {
+        let cdf = AccessCdf::from_frequency(&skewed_freq());
+        let mut prev = 0.0;
+        for rows in 0..=cdf.rows_ranked() {
+            let f = cdf.access_fraction(rows);
+            assert!(f >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        assert!((cdf.access_fraction(cdf.rows_ranked()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_concentrates_in_head() {
+        let cdf = AccessCdf::from_frequency(&skewed_freq());
+        // One row out of 110 covers 1000/1190 ≈ 84% of accesses.
+        assert!(cdf.access_fraction(1) > 0.8);
+        assert!(cdf.top_percent_share(1.0) > 0.8);
+    }
+
+    #[test]
+    fn rows_for_fraction_inverts_access_fraction() {
+        let cdf = AccessCdf::from_frequency(&skewed_freq());
+        for pct in [0.0, 0.1, 0.5, 0.84, 0.9, 0.99, 1.0] {
+            let rows = cdf.rows_for_access_fraction(pct);
+            assert!(cdf.access_fraction(rows) + 1e-12 >= pct, "pct {pct} rows {rows}");
+            if rows > 0 {
+                assert!(cdf.access_fraction(rows - 1) < pct + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn icdf_monotone_and_covers_all_rows_at_last_step() {
+        let cdf = AccessCdf::from_frequency(&skewed_freq());
+        let icdf = cdf.icdf(100);
+        assert_eq!(icdf.steps(), 100);
+        let rows: Vec<u64> = icdf.points().map(|(_, r)| r).collect();
+        assert!(rows.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(icdf.max_rows(), cdf.rows_ranked());
+        assert_eq!(icdf.rows_at_step(0), 0);
+    }
+
+    #[test]
+    fn uniform_distribution_needs_proportional_rows() {
+        let mut f = FrequencyMap::new();
+        for r in 0..1000u64 {
+            f.record_n(r, 5);
+        }
+        let cdf = AccessCdf::from_frequency(&f);
+        let half = cdf.rows_for_access_fraction(0.5);
+        assert!((half as f64 - 500.0).abs() <= 1.0);
+        assert!(cdf.top_percent_share(10.0) < 0.12);
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let cdf = AccessCdf::empty();
+        assert_eq!(cdf.access_fraction(10), 0.0);
+        assert_eq!(cdf.rows_for_access_fraction(0.9), 0);
+        assert_eq!(cdf.icdf(10).max_rows(), 0);
+        assert_eq!(cdf.curve(10), vec![(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn from_ranked_counts_matches_frequency_path() {
+        let freq = skewed_freq();
+        let a = AccessCdf::from_frequency(&freq);
+        let b = AccessCdf::from_ranked_counts(&freq.ranked_counts());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranked counts must be descending")]
+    fn unsorted_counts_rejected() {
+        let _ = AccessCdf::from_ranked_counts(&[1, 5, 2]);
+    }
+
+    #[test]
+    fn curve_is_bounded_and_ends_at_one() {
+        let cdf = AccessCdf::from_frequency(&skewed_freq());
+        let curve = cdf.curve(20);
+        assert!(curve.len() <= 23);
+        assert_eq!(*curve.first().unwrap(), (0.0, 0.0));
+        let last = curve.last().unwrap();
+        assert!((last.0 - 1.0).abs() < 1e-12 && (last.1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-row access frequency accumulation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Access counts per embedding row (post-hash), for one table.
+///
+/// Only rows that were actually accessed are stored; the (typically large)
+/// remainder of the hash space implicitly has count zero, which is exactly
+/// the under-utilisation RecShard exploits (Section 3.4).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyMap {
+    counts: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl FrequencyMap {
+    /// Creates an empty frequency map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access to `row`.
+    #[inline]
+    pub fn record(&mut self, row: u64) {
+        *self.counts.entry(row).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` accesses to `row`.
+    pub fn record_n(&mut self, row: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(row).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Records one access to each row in the slice.
+    pub fn record_all(&mut self, rows: &[u64]) {
+        for &r in rows {
+            self.record(r);
+        }
+    }
+
+    /// Total number of recorded accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct rows accessed at least once.
+    pub fn distinct_rows(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Access count of a specific row (zero when never accessed).
+    pub fn count(&self, row: u64) -> u64 {
+        self.counts.get(&row).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(row, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&r, &c)| (r, c))
+    }
+
+    /// Merges another frequency map into this one.
+    pub fn merge(&mut self, other: &FrequencyMap) {
+        for (&row, &count) in &other.counts {
+            *self.counts.entry(row).or_insert(0) += count;
+        }
+        self.total += other.total;
+    }
+
+    /// Returns rows sorted by descending access count (ties broken by row id
+    /// for determinism). The hottest row comes first.
+    pub fn ranked_rows(&self) -> Vec<u64> {
+        let mut rows: Vec<(u64, u64)> = self.counts.iter().map(|(&r, &c)| (r, c)).collect();
+        rows.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// Returns access counts sorted descending (aligned with
+    /// [`ranked_rows`](Self::ranked_rows)).
+    pub fn ranked_counts(&self) -> Vec<u64> {
+        let mut counts: Vec<u64> = self.counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+    }
+
+    /// True when no accesses have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+impl FromIterator<u64> for FrequencyMap {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut map = FrequencyMap::new();
+        for row in iter {
+            map.record(row);
+        }
+        map
+    }
+}
+
+impl Extend<u64> for FrequencyMap {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for row in iter {
+            self.record(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut m = FrequencyMap::new();
+        m.record(3);
+        m.record(3);
+        m.record(7);
+        assert_eq!(m.count(3), 2);
+        assert_eq!(m.count(7), 1);
+        assert_eq!(m.count(99), 0);
+        assert_eq!(m.total_accesses(), 3);
+        assert_eq!(m.distinct_rows(), 2);
+    }
+
+    #[test]
+    fn ranked_rows_descending_with_deterministic_ties() {
+        let mut m = FrequencyMap::new();
+        m.record_n(10, 5);
+        m.record_n(20, 5);
+        m.record_n(30, 9);
+        m.record_n(40, 1);
+        assert_eq!(m.ranked_rows(), vec![30, 10, 20, 40]);
+        assert_eq!(m.ranked_counts(), vec![9, 5, 5, 1]);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a: FrequencyMap = [1u64, 2, 2].into_iter().collect();
+        let b: FrequencyMap = [2u64, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(2), 3);
+        assert_eq!(a.count(3), 1);
+        assert_eq!(a.total_accesses(), 5);
+    }
+
+    #[test]
+    fn extend_and_from_iterator() {
+        let mut m: FrequencyMap = (0u64..10).collect();
+        m.extend(0u64..5);
+        assert_eq!(m.total_accesses(), 15);
+        assert_eq!(m.distinct_rows(), 10);
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut m = FrequencyMap::new();
+        m.record_n(1, 0);
+        assert!(m.is_empty());
+        assert_eq!(m.distinct_rows(), 0);
+    }
+}

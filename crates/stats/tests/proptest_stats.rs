@@ -1,0 +1,80 @@
+//! Property-based tests for the statistics stack: frequency maps, access
+//! CDFs and their piece-wise linear inverses.
+
+use proptest::prelude::*;
+use recshard_stats::{AccessCdf, FrequencyMap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Total accesses and distinct-row counts are conserved by construction.
+    #[test]
+    fn frequency_map_conserves_counts(rows in prop::collection::vec(0u64..500, 1..400)) {
+        let map: FrequencyMap = rows.iter().copied().collect();
+        prop_assert_eq!(map.total_accesses(), rows.len() as u64);
+        let distinct: std::collections::HashSet<_> = rows.iter().collect();
+        prop_assert_eq!(map.distinct_rows(), distinct.len() as u64);
+        let summed: u64 = map.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(summed, rows.len() as u64);
+    }
+
+    /// The ranked-row ordering is a permutation of the accessed rows with
+    /// non-increasing counts.
+    #[test]
+    fn ranked_rows_are_sorted_by_count(rows in prop::collection::vec(0u64..100, 1..300)) {
+        let map: FrequencyMap = rows.iter().copied().collect();
+        let ranked = map.ranked_rows();
+        prop_assert_eq!(ranked.len() as u64, map.distinct_rows());
+        for w in ranked.windows(2) {
+            prop_assert!(map.count(w[0]) >= map.count(w[1]));
+        }
+    }
+
+    /// The CDF is monotone, bounded by [0, 1], and reaches exactly 1 at the
+    /// number of ranked rows.
+    #[test]
+    fn cdf_is_monotone_and_normalised(rows in prop::collection::vec(0u64..200, 1..500)) {
+        let map: FrequencyMap = rows.iter().copied().collect();
+        let cdf = AccessCdf::from_frequency(&map);
+        let mut prev = 0.0;
+        for k in 0..=cdf.rows_ranked() {
+            let f = cdf.access_fraction(k);
+            prop_assert!(f >= prev - 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+            prev = f;
+        }
+        prop_assert!((cdf.access_fraction(cdf.rows_ranked()) - 1.0).abs() < 1e-12);
+    }
+
+    /// The ICDF inverts the CDF: the rows it reports for a fraction always
+    /// cover at least that fraction, and one fewer row never does.
+    #[test]
+    fn icdf_inverts_cdf(
+        rows in prop::collection::vec(0u64..200, 1..500),
+        pct in 0.0f64..1.0,
+    ) {
+        let map: FrequencyMap = rows.iter().copied().collect();
+        let cdf = AccessCdf::from_frequency(&map);
+        let needed = cdf.rows_for_access_fraction(pct);
+        prop_assert!(cdf.access_fraction(needed) + 1e-12 >= pct);
+        if needed > 0 {
+            prop_assert!(cdf.access_fraction(needed - 1) < pct + 1e-12);
+        }
+    }
+
+    /// The 100-step ICDF is monotone in the step index and tops out at the
+    /// number of accessed rows.
+    #[test]
+    fn icdf_steps_monotone(rows in prop::collection::vec(0u64..300, 1..400)) {
+        let map: FrequencyMap = rows.iter().copied().collect();
+        let cdf = AccessCdf::from_frequency(&map);
+        let icdf = cdf.icdf(100);
+        let mut prev = 0;
+        for i in 0..=100 {
+            let r = icdf.rows_at_step(i);
+            prop_assert!(r >= prev);
+            prev = r;
+        }
+        prop_assert_eq!(icdf.max_rows(), cdf.rows_ranked());
+    }
+}

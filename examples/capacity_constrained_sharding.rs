@@ -1,0 +1,61 @@
+//! Capacity-constrained sharding of a scaled-down RM2: the paper's headline
+//! scenario, where the model is roughly twice as large as aggregate HBM and
+//! the sharding decision determines whether hot rows pay the UVM penalty.
+//!
+//! Run with
+//! `cargo run --release -p recshard-bench --example capacity_constrained_sharding`.
+
+use recshard::analysis::PlanComparison;
+use recshard::{RecShard, RecShardConfig};
+use recshard_bench::{ExperimentConfig, Strategy};
+use recshard_data::RmKind;
+use recshard_memsim::EmbeddingOpSimulator;
+use recshard_stats::DatasetProfiler;
+
+fn main() {
+    // A faster-than-default configuration so the example finishes quickly.
+    let mut cfg = ExperimentConfig::fast();
+    cfg.scale = 8_192;
+    cfg.profile_samples = 2_000;
+    cfg.sim_iterations = 2;
+    cfg.sim_batch = 128;
+
+    let model = cfg.model(RmKind::Rm2);
+    let system = cfg.system();
+    println!(
+        "RM2 at 1/{} scale: {} tables, {:.0} MB of embeddings vs {:.0} MB of aggregate HBM",
+        cfg.scale,
+        model.num_features(),
+        model.total_bytes() as f64 / 1e6,
+        system.total_hbm_capacity() as f64 / 1e6
+    );
+
+    let profile = DatasetProfiler::profile_model(&model, cfg.profile_samples, cfg.seed);
+    let recshard_plan = RecShard::new(RecShardConfig::default())
+        .plan(&model, &profile, &system)
+        .expect("recshard plan");
+
+    println!();
+    println!("strategy           | iter time (ms) | UVM accesses/GPU | rows promoted vs RecShard");
+    for strategy in Strategy::all() {
+        let plan = strategy.plan(&model, &profile, &system);
+        let mut sim = EmbeddingOpSimulator::new(&model, &plan, &profile, &system, cfg.sim_config());
+        let report = sim.run(cfg.sim_iterations, cfg.sim_batch, cfg.seed);
+        let disparity = PlanComparison::between(&recshard_plan, &plan);
+        println!(
+            "{:<18} | {:>14.3} | {:>16.0} | UVM->HBM {:.1}%, HBM->UVM {:.1}%",
+            strategy.label(),
+            report.iteration_time_ms(),
+            report.mean_uvm_accesses_per_gpu(),
+            disparity.uvm_to_hbm * 100.0,
+            disparity.hbm_to_uvm * 100.0
+        );
+    }
+    println!();
+    println!(
+        "RecShard's plan keeps {:.1}% of all rows in UVM (cold and hash-collision slack) yet \
+         sources almost all accesses from HBM — the fine-grained partitioning the baselines, \
+         which place whole tables, cannot express.",
+        recshard_plan.uvm_row_fraction() * 100.0
+    );
+}

@@ -1,0 +1,68 @@
+//! End-to-end DLRM training with simulated production-scale embedding timing:
+//! trains a real (small) DLRM while charging each step the embedding time a
+//! RecShard plan vs a baseline plan would incur, and reports the Amdahl's-law
+//! end-to-end speedup (Section 6.4).
+//!
+//! Run with `cargo run --release -p recshard-bench --example dlrm_training`.
+
+use recshard::analysis::amdahl_end_to_end_speedup;
+use recshard::{RecShard, RecShardConfig};
+use recshard_data::{ModelSpec, SampleGenerator};
+use recshard_dlrm::{DlrmConfig, DlrmModel, HybridParallelTrainer};
+use recshard_memsim::{EmbeddingOpSimulator, SimConfig};
+use recshard_sharding::{GreedySharder, SizeCost, SystemSpec};
+use recshard_stats::DatasetProfiler;
+
+fn main() {
+    // A small feature universe we can actually materialise and train.
+    let spec = ModelSpec::small(12, 5).scaled(8).with_batch_size(256);
+    let emb_dim = spec.features()[0].embedding_dim as usize;
+    let profile = DatasetProfiler::profile_model(&spec, 4_000, 3);
+    // HBM pressure: only ~a third of the embeddings fit.
+    let system = SystemSpec::uniform(2, spec.total_bytes() / 6, spec.total_bytes(), 1555.0, 16.0);
+
+    let recshard_plan = RecShard::new(RecShardConfig::default())
+        .plan(&spec, &profile, &system)
+        .expect("recshard plan");
+    let baseline_plan = GreedySharder::new(SizeCost)
+        .shard(&spec, &profile, &system)
+        .expect("baseline plan");
+
+    let dlrm_cfg = DlrmConfig::new(8, vec![32, emb_dim], vec![32, 16, 1]);
+    let sim_cfg = SimConfig::default();
+    let dense_time_ms = 6.0; // data-parallel MLP + all-to-all time, unaffected by sharding
+
+    let mut results = Vec::new();
+    for (name, plan) in [("recshard", &recshard_plan), ("size-based", &baseline_plan)] {
+        let model = DlrmModel::new(&spec, &dlrm_cfg, 21);
+        let sim = EmbeddingOpSimulator::new(&spec, plan, &profile, &system, sim_cfg);
+        let gen = SampleGenerator::new(&spec, 17);
+        let mut trainer = HybridParallelTrainer::new(model, sim, gen, dense_time_ms, 128, 9);
+        let reports = trainer.run(20, 64, 0.05);
+        let first_loss = reports.first().unwrap().loss;
+        let last_loss = reports.last().unwrap().loss;
+        let emb_ms: f64 =
+            reports.iter().map(|r| r.embedding_time_ms).sum::<f64>() / reports.len() as f64;
+        let step_ms: f64 =
+            reports.iter().map(|r| r.step_time_ms()).sum::<f64>() / reports.len() as f64;
+        println!(
+            "{name:<11} loss {first_loss:.3} -> {last_loss:.3} | embedding {emb_ms:.2} ms/step | \
+             full step {step_ms:.2} ms | embedding share {:.0}%",
+            100.0 * emb_ms / step_ms
+        );
+        results.push((name, emb_ms, step_ms));
+    }
+
+    let (_, rec_emb, rec_step) = results[0];
+    let (_, base_emb, base_step) = results[1];
+    let emb_speedup = base_emb / rec_emb;
+    let p = base_emb / base_step;
+    println!();
+    println!(
+        "embedding speedup {emb_speedup:.2}x at an embedding share of {:.0}% -> measured \
+         end-to-end speedup {:.2}x (Amdahl predicts {:.2}x)",
+        p * 100.0,
+        base_step / rec_step,
+        amdahl_end_to_end_speedup(p, emb_speedup)
+    );
+}

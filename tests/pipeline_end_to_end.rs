@@ -1,0 +1,91 @@
+//! End-to-end integration test: profile → shard → remap → simulate on a
+//! capacity-constrained system, checking the invariants every stage must
+//! uphold together.
+
+use recshard::{RecShard, RecShardConfig};
+use recshard_data::ModelSpec;
+use recshard_memsim::{EmbeddingOpSimulator, SimConfig};
+use recshard_sharding::{MemoryTier, SystemSpec};
+
+#[test]
+fn full_pipeline_respects_all_invariants() {
+    let model = ModelSpec::small(16, 101).with_batch_size(512);
+    let system =
+        SystemSpec::uniform(4, model.total_bytes() / 10, model.total_bytes(), 1555.0, 16.0);
+    let out = RecShard::new(RecShardConfig::default())
+        .run(&model, &system, 3_000, 5)
+        .expect("pipeline");
+
+    // Plan structurally valid and within capacity.
+    out.plan.validate(&model, &system).expect("plan valid");
+    // Every table got a remap table covering every row exactly once.
+    assert_eq!(out.remap_tables.len(), model.num_features());
+    for (remap, placement) in out.remap_tables.iter().zip(out.plan.placements()) {
+        assert_eq!(remap.total_rows(), placement.total_rows);
+        assert_eq!(remap.hbm_rows() + remap.uvm_rows(), placement.total_rows);
+    }
+    // Profiled hot rows of split tables are HBM-resident.
+    for (t, prof) in out.profile.profiles().iter().enumerate() {
+        let placement = &out.plan.placements()[t];
+        if placement.hbm_rows > 0 && !prof.ranked_rows.is_empty() {
+            assert_eq!(out.remap_tables[t].tier_of(prof.ranked_rows[0]), MemoryTier::Hbm);
+        }
+    }
+
+    // Simulated accesses are conserved and mostly HBM-resident.
+    let mut sim = EmbeddingOpSimulator::new(
+        &model,
+        &out.plan,
+        &out.profile,
+        &system,
+        SimConfig { kernel_overhead_us_per_table: 0.0, scale_to_batch: None },
+    );
+    let report = sim.run(3, 256, 9);
+    let hbm: f64 = report.per_gpu_mean_counters().iter().map(|c| c.hbm_accesses as f64).sum();
+    let uvm: f64 = report.per_gpu_mean_counters().iter().map(|c| c.uvm_accesses as f64).sum();
+    assert!(hbm > 0.0);
+    assert!(
+        uvm / (hbm + uvm) < 0.35,
+        "RecShard should keep most accesses in HBM, got UVM share {}",
+        uvm / (hbm + uvm)
+    );
+}
+
+#[test]
+fn pipeline_scales_with_gpu_count() {
+    let model = ModelSpec::small(12, 55);
+    for gpus in [1usize, 2, 4, 8] {
+        let system = SystemSpec::uniform(
+            gpus,
+            (model.total_bytes() / (gpus as u64 * 2)).max(1024),
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let out = RecShard::default().run(&model, &system, 1_000, 3).expect("pipeline");
+        out.plan.validate(&model, &system).expect("plan valid");
+        // Every GPU index used by the plan is within range.
+        assert!(out.plan.placements().iter().all(|p| p.gpu < gpus));
+    }
+}
+
+#[test]
+fn exact_milp_and_structured_solver_agree_on_tiny_instances() {
+    let model = ModelSpec::small(3, 77).with_batch_size(64);
+    let system =
+        SystemSpec::uniform(2, model.total_bytes() / 4, model.total_bytes() * 2, 1555.0, 16.0);
+    let profile = recshard_stats::DatasetProfiler::profile_model(&model, 1_000, 1);
+
+    let exact_cfg = RecShardConfig::default().with_exact_milp().with_icdf_steps(5);
+    let exact = RecShard::new(exact_cfg).plan(&model, &profile, &system).expect("exact plan");
+    let structured = RecShard::new(RecShardConfig::default().with_icdf_steps(5))
+        .plan(&model, &profile, &system)
+        .expect("structured plan");
+
+    exact.validate(&model, &system).unwrap();
+    structured.validate(&model, &system).unwrap();
+    // Both must serve the overwhelming majority of accesses from HBM.
+    let est = recshard_memsim::AnalyticalEstimator::new(&profile, &system, 64);
+    assert!(est.uvm_access_fraction(&exact) < 0.2);
+    assert!(est.uvm_access_fraction(&structured) < 0.2);
+}
