@@ -18,10 +18,18 @@ fn baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_sharders");
     group.sample_size(20);
     group.bench_with_input(BenchmarkId::new("greedy", "size"), &(), |b, _| {
-        b.iter(|| GreedySharder::new(SizeCost).shard(&model, &profile, &system).expect("plan"));
+        b.iter(|| {
+            GreedySharder::new(SizeCost)
+                .shard(&model, &profile, &system)
+                .expect("plan")
+        });
     });
     group.bench_with_input(BenchmarkId::new("greedy", "lookup"), &(), |b, _| {
-        b.iter(|| GreedySharder::new(LookupCost).shard(&model, &profile, &system).expect("plan"));
+        b.iter(|| {
+            GreedySharder::new(LookupCost)
+                .shard(&model, &profile, &system)
+                .expect("plan")
+        });
     });
     group.bench_with_input(BenchmarkId::new("greedy", "size-lookup"), &(), |b, _| {
         b.iter(|| {

@@ -26,7 +26,10 @@ fn remapping(c: &mut Criterion) {
     });
 
     let remaps = EmbeddingOpSimulator::build_remap_tables(&plan, &profile);
-    let biggest = remaps.iter().max_by_key(|r| r.total_rows()).expect("non-empty");
+    let biggest = remaps
+        .iter()
+        .max_by_key(|r| r.total_rows())
+        .expect("non-empty");
     let rows: Vec<u64> = (0..biggest.total_rows()).step_by(7).collect();
     group.throughput(Throughput::Elements(rows.len() as u64));
     group.bench_function("lookup_translation", |b| {

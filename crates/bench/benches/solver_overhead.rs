@@ -10,7 +10,10 @@ use recshard_sharding::SystemSpec;
 use recshard_stats::DatasetProfiler;
 
 fn solver_overhead(c: &mut Criterion) {
-    let cfg = ExperimentConfig { profile_samples: 1_500, ..ExperimentConfig::fast() };
+    let cfg = ExperimentConfig {
+        profile_samples: 1_500,
+        ..ExperimentConfig::fast()
+    };
     let model = cfg.model(RmKind::Rm2);
     let profile = DatasetProfiler::profile_model(&model, cfg.profile_samples, cfg.seed);
 
@@ -18,20 +21,37 @@ fn solver_overhead(c: &mut Criterion) {
     group.sample_size(10);
     for gpus in [8usize, 16, 32] {
         let system = SystemSpec::paper_with_gpus(gpus).scaled(cfg.scale);
-        group.bench_with_input(BenchmarkId::new("structured_397_tables", gpus), &gpus, |b, _| {
-            let sharder = RecShard::new(RecShardConfig::default());
-            b.iter(|| sharder.plan(&model, &profile, &system).expect("plan"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("structured_397_tables", gpus),
+            &gpus,
+            |b, _| {
+                let sharder = RecShard::new(RecShardConfig::default());
+                b.iter(|| sharder.plan(&model, &profile, &system).expect("plan"));
+            },
+        );
     }
 
     // The exact MILP only on a tiny instance (ground-truth path).
     let small = ModelSpec::small(4, 9).with_batch_size(128);
     let small_profile = DatasetProfiler::profile_model(&small, 800, 3);
-    let small_system =
-        SystemSpec::uniform(2, small.total_bytes() / 4, small.total_bytes() * 2, 1555.0, 16.0);
+    let small_system = SystemSpec::uniform(
+        2,
+        small.total_bytes() / 4,
+        small.total_bytes() * 2,
+        1555.0,
+        16.0,
+    );
     group.bench_function("exact_milp_4_tables_2_gpus", |b| {
-        let sharder = RecShard::new(RecShardConfig::default().with_exact_milp().with_icdf_steps(5));
-        b.iter(|| sharder.plan(&small, &small_profile, &small_system).expect("plan"));
+        let sharder = RecShard::new(
+            RecShardConfig::default()
+                .with_exact_milp()
+                .with_icdf_steps(5),
+        );
+        b.iter(|| {
+            sharder
+                .plan(&small, &small_profile, &small_system)
+                .expect("plan")
+        });
     });
     group.finish();
 }

@@ -1,0 +1,174 @@
+//! Discrete-event cluster throughput comparison: RecShard vs the greedy
+//! baselines under identical open-loop event streams.
+//!
+//! This is the dynamic-systems counterpart of Table 3: instead of charging
+//! each plan a closed-form per-iteration cost, every strategy's plan is
+//! replayed through `recshard-des` — per-GPU FIFO stations, an all-to-all
+//! barrier, and batches arriving at a fixed rate the cluster does not
+//! control. The arrival interval is calibrated to give the RecShard plan a
+//! small amount of headroom; a baseline whose slowest GPU cannot keep that
+//! pace builds an unbounded queue and its p99 sojourn time diverges — the
+//! sustained-throughput argument of the paper, visible only in a model with
+//! queueing.
+//!
+//! The workload is a deliberately skewed Zipf feature universe (exponents
+//! 1.05–1.6) on a system where only ~1/3 of the embedding bytes fit in HBM,
+//! so *which* rows a strategy keeps in HBM decides everything.
+//!
+//! Environment overrides: `RECSHARD_GPUS` (default 4, min 4),
+//! `RECSHARD_DES_ITERS` (default 10,000, min 10,000), `RECSHARD_SIM_BATCH`
+//! (default 32), `RECSHARD_SEED`.
+
+use recshard_bench::{print_row, skewed_model, Strategy};
+use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator, RunSummary};
+use recshard_sharding::{ShardingPlan, SystemSpec};
+use recshard_stats::DatasetProfiler;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let gpus = env_u64("RECSHARD_GPUS", 4).max(4) as usize;
+    let iterations = env_u64("RECSHARD_DES_ITERS", 10_000).max(10_000);
+    let batch = env_u64("RECSHARD_SIM_BATCH", 32).max(1) as usize;
+    let seed = env_u64("RECSHARD_SEED", 0xA5F0);
+
+    let model = skewed_model(64);
+    // Only ~1/3 of the embedding bytes fit in HBM: hot-row placement decides
+    // how much traffic crosses the 16 GB/s UVM link.
+    let system = SystemSpec::uniform(
+        gpus,
+        model.total_bytes() / (3 * gpus as u64),
+        model.total_bytes(),
+        1555.0,
+        16.0,
+    );
+    let profile = DatasetProfiler::profile_model(&model, 4_000, seed);
+
+    let base_config = ClusterConfig {
+        batch_size: batch,
+        iterations,
+        seed,
+        // Placeholder pace (~17 min between batches — effectively unloaded);
+        // every run below overrides `arrival` with the calibrated interval.
+        arrival: ArrivalProcess::FixedRate { interval_ms: 1e6 },
+        kernel_overhead_us_per_table: 8.0,
+        // Trace a 32-sample sub-batch, report at the model's 512-sample batch
+        // (the same sub-sampling trick the trace simulator uses): memory
+        // traffic, not launch overhead, decides the comparison.
+        scale_to_batch: Some(model.batch_size()),
+        ..ClusterConfig::default()
+    };
+
+    // Solve every strategy's plan exactly once; RecShard's structured solve
+    // is the expensive phase and each plan is reused across the calibration,
+    // comparison and determinism runs below.
+    let strategies = [
+        Strategy::RecShard,
+        Strategy::SizeBased,
+        Strategy::LookupBased,
+        Strategy::SizeLookupBased,
+    ];
+    let plans: Vec<(Strategy, ShardingPlan)> = strategies
+        .iter()
+        .map(|&s| (s, s.plan(&model, &profile, &system)))
+        .collect();
+
+    let run = |plan: &ShardingPlan, config: ClusterConfig| -> RunSummary {
+        ClusterSimulator::new(&model, plan, &profile, &system, config).run()
+    };
+
+    // Calibrate the arrival interval: unloaded RecShard sojourn + 5% headroom.
+    let calib = run(
+        &plans[0].1,
+        ClusterConfig {
+            iterations: 200,
+            arrival: ArrivalProcess::FixedRate { interval_ms: 1e6 },
+            ..base_config
+        },
+    );
+    let interval_ms = calib.p50_ms * 1.05;
+    let config = ClusterConfig {
+        arrival: ArrivalProcess::FixedRate { interval_ms },
+        ..base_config
+    };
+
+    println!(
+        "# DES cluster throughput: {} tables, {gpus} GPUs, {iterations} iterations, \
+         batch {batch}, arrivals every {interval_ms:.3} ms (identical stream per strategy)",
+        model.num_features()
+    );
+    println!();
+    print_row(&[
+        "strategy".into(),
+        "p50 ms".into(),
+        "p95 ms".into(),
+        "p99 ms".into(),
+        "iters/s".into(),
+        "max queue wait ms".into(),
+        "max GPU busy".into(),
+    ]);
+    print_row(&[
+        "---".into(),
+        "---".into(),
+        "---".into(),
+        "---".into(),
+        "---".into(),
+        "---".into(),
+        "---".into(),
+    ]);
+
+    let mut results = Vec::new();
+    for (strategy, plan) in &plans {
+        let s = run(plan, config);
+        print_row(&[
+            strategy.label().into(),
+            format!("{:.3}", s.p50_ms),
+            format!("{:.3}", s.p95_ms),
+            format!("{:.3}", s.p99_ms),
+            format!("{:.1}", s.throughput_iters_per_s),
+            format!("{:.3}", s.queue_wait.max),
+            format!(
+                "{:.0}%",
+                s.busy_fraction.iter().cloned().fold(0.0, f64::max) * 100.0
+            ),
+        ]);
+        results.push((strategy, s));
+    }
+
+    // Determinism check: replaying RecShard with the same seed must reproduce
+    // the identical event log.
+    let again = run(&plans[0].1, config);
+    let recshard = &results[0].1;
+    assert_eq!(
+        recshard, &again,
+        "identical seed must reproduce the identical summary"
+    );
+    println!();
+    println!(
+        "determinism: RecShard replay fingerprint {:#018x} == first run: {}",
+        again.fingerprint,
+        again.fingerprint == recshard.fingerprint
+    );
+
+    let best_baseline_p99 = results[1..]
+        .iter()
+        .map(|(_, s)| s.p99_ms)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "RecShard p99 {:.3} ms vs best baseline p99 {:.3} ms — RecShard wins: {}",
+        recshard.p99_ms,
+        best_baseline_p99,
+        recshard.p99_ms < best_baseline_p99
+    );
+    println!(
+        "RecShard sustains {:.1} iters/s at an offered load of {:.1} batches/s; \
+         baselines that fall behind queue without bound and their tails diverge.",
+        recshard.throughput_iters_per_s,
+        1e3 / interval_ms
+    );
+}

@@ -5,7 +5,10 @@ use recshard_data::ModelSpec;
 
 fn main() {
     let model = ModelSpec::rm1();
-    println!("# Figure 4: cardinality vs hash size ({} features)", model.num_features());
+    println!(
+        "# Figure 4: cardinality vs hash size ({} features)",
+        model.num_features()
+    );
     println!("| feature | cardinality | hash size | hash/cardinality |");
     println!("|---------|-------------|-----------|------------------|");
     let mut below = 0usize;
@@ -14,7 +17,10 @@ fn main() {
         if ratio < 1.0 {
             below += 1;
         }
-        println!("| {} | {} | {} | {:.3} |", f.id, f.cardinality, f.hash_size, ratio);
+        println!(
+            "| {} | {} | {} | {:.3} |",
+            f.id, f.cardinality, f.hash_size, ratio
+        );
     }
     println!();
     println!(

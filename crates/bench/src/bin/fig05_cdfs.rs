@@ -6,17 +6,23 @@
 
 use recshard_bench::ExperimentConfig;
 use recshard_data::RmKind;
-use recshard_stats::DatasetProfiler;
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    let model = cfg.model(RmKind::Rm1);
-    let profile = DatasetProfiler::profile_model(&model, cfg.profile_samples, cfg.seed);
+    let profile = cfg.setup(RmKind::Rm1).profile;
 
-    println!("# Figure 5: hashed value frequency CDFs (profiled over {} samples)", cfg.profile_samples);
+    println!(
+        "# Figure 5: hashed value frequency CDFs (profiled over {} samples)",
+        cfg.profile_samples
+    );
     println!("| feature | accesses | top 1% rows | top 5% | top 10% | top 25% | top 50% |");
     println!("|---------|----------|-------------|--------|---------|---------|---------|");
-    for p in profile.profiles().iter().filter(|p| p.total_lookups > 0).step_by(20) {
+    for p in profile
+        .profiles()
+        .iter()
+        .filter(|p| p.total_lookups > 0)
+        .step_by(20)
+    {
         println!(
             "| {} | {} | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% |",
             p.id,

@@ -2,12 +2,11 @@
 
 use recshard_bench::ExperimentConfig;
 use recshard_data::RmKind;
-use recshard_stats::{DatasetProfiler, Summary};
+use recshard_stats::Summary;
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    let model = cfg.model(RmKind::Rm1);
-    let profile = DatasetProfiler::profile_model(&model, cfg.profile_samples, cfg.seed);
+    let profile = cfg.setup(RmKind::Rm1).profile;
 
     println!("# Figure 6a/6b: average pooling factor and coverage per feature");
     println!("| feature | avg pooling factor | coverage |");

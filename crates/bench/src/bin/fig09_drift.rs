@@ -5,11 +5,17 @@ use recshard_data::DriftModel;
 
 fn main() {
     let drift = DriftModel::paper_like();
-    println!("# Figure 9: % change in average pooling factor over {} months", drift.months());
+    println!(
+        "# Figure 9: % change in average pooling factor over {} months",
+        drift.months()
+    );
     println!("| month | user features | content features |");
     println!("|-------|---------------|------------------|");
     for p in drift.trajectory() {
-        println!("| {} | {:+.2}% | {:+.2}% |", p.month, p.user_pct_change, p.content_pct_change);
+        println!(
+            "| {} | {:+.2}% | {:+.2}% |",
+            p.month, p.user_pct_change, p.content_pct_change
+        );
     }
     println!();
     println!(

@@ -9,7 +9,10 @@ fn main() {
     let cmp = compare_strategies(RmKind::Rm2, &cfg);
     let plan = &cmp.result(Strategy::RecShard).1;
 
-    println!("# Figure 12: RecShard partitions/placements for RM2 on {} GPUs", plan.num_gpus());
+    println!(
+        "# Figure 12: RecShard partitions/placements for RM2 on {} GPUs",
+        plan.num_gpus()
+    );
     println!("| GPU | tables assigned | mean % of EMB on UVM | min % | max % |");
     println!("|-----|-----------------|----------------------|-------|-------|");
     for gpu in 0..plan.num_gpus() {
@@ -25,7 +28,13 @@ fn main() {
         let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
         let min = fracs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = fracs.iter().cloned().fold(0.0f64, f64::max);
-        println!("| {gpu} | {} | {:.1}% | {:.1}% | {:.1}% |", tables.len(), mean, min, max);
+        println!(
+            "| {gpu} | {} | {:.1}% | {:.1}% | {:.1}% |",
+            tables.len(),
+            mean,
+            min,
+            max
+        );
     }
     println!();
     println!("Per-EMB UVM fractions (one value per table, ordered by feature id):");

@@ -14,7 +14,11 @@ fn main() {
     for kind in [RmKind::Rm1, RmKind::Rm2, RmKind::Rm3] {
         let cmp = compare_strategies(kind, &cfg);
         let recshard_plan = &cmp.result(Strategy::RecShard).1;
-        let baselines = [Strategy::SizeBased, Strategy::LookupBased, Strategy::SizeLookupBased];
+        let baselines = [
+            Strategy::SizeBased,
+            Strategy::LookupBased,
+            Strategy::SizeLookupBased,
+        ];
         let comparisons: Vec<PlanComparison> = baselines
             .iter()
             .map(|&b| PlanComparison::between(recshard_plan, &cmp.result(b).1))

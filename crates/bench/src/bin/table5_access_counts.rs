@@ -22,12 +22,22 @@ fn main() {
             Strategy::SizeLookupBased,
             Strategy::RecShard,
         ];
-        let hbm: Vec<String> =
-            order.iter().map(|&s| fmt_count(get(s).mean_hbm_accesses_per_gpu())).collect();
-        let uvm: Vec<String> =
-            order.iter().map(|&s| fmt_count(get(s).mean_uvm_accesses_per_gpu())).collect();
-        println!("| {} | HBM | {} | {} | {} | {} |", kind, hbm[0], hbm[1], hbm[2], hbm[3]);
-        println!("| {} | UVM | {} | {} | {} | {} |", kind, uvm[0], uvm[1], uvm[2], uvm[3]);
+        let hbm: Vec<String> = order
+            .iter()
+            .map(|&s| fmt_count(get(s).mean_hbm_accesses_per_gpu()))
+            .collect();
+        let uvm: Vec<String> = order
+            .iter()
+            .map(|&s| fmt_count(get(s).mean_uvm_accesses_per_gpu()))
+            .collect();
+        println!(
+            "| {} | HBM | {} | {} | {} | {} |",
+            kind, hbm[0], hbm[1], hbm[2], hbm[3]
+        );
+        println!(
+            "| {} | UVM | {} | {} | {} | {} |",
+            kind, uvm[0], uvm[1], uvm[2], uvm[3]
+        );
         let uvm_frac: Vec<String> = order
             .iter()
             .map(|&s| format!("{:.2}%", get(s).uvm_access_fraction() * 100.0))

@@ -6,11 +6,11 @@ use recshard::{AblationVariant, RecShard, RecShardConfig};
 use recshard_bench::{fmt_count, ExperimentConfig};
 use recshard_data::RmKind;
 use recshard_memsim::EmbeddingOpSimulator;
-use recshard_stats::DatasetProfiler;
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    let model = cfg.model(RmKind::Rm3);
+    let setup = cfg.setup(RmKind::Rm3);
+    let (model, profile) = (setup.model, setup.profile);
     // The paper profiles >200M samples, so the set of *observed* rows is far
     // larger than HBM and the ablation's cost-model differences decide which
     // observed rows win the scarce HBM space. At the reduced profiling volume
@@ -18,11 +18,13 @@ fn main() {
     // proportion to recreate that pressure inside the observed region;
     // otherwise every variant trivially keeps all observed rows in HBM and
     // the ablation degenerates.
-    let mut system = cfg.system();
+    let mut system = setup.system;
     system.hbm_capacity_per_gpu /= 6;
-    let profile = DatasetProfiler::profile_model(&model, cfg.profile_samples, cfg.seed);
 
-    println!("# Table 6: RecShard ablation on RM3 ({} GPUs, scale 1/{})", cfg.gpus, cfg.scale);
+    println!(
+        "# Table 6: RecShard ablation on RM3 ({} GPUs, scale 1/{})",
+        cfg.gpus, cfg.scale
+    );
     println!("| formulation | HBM accesses / GPU / iter | UVM accesses / GPU / iter | UVM share |");
     println!("|-------------|---------------------------|---------------------------|-----------|");
     for variant in AblationVariant::all() {

@@ -19,7 +19,10 @@ impl PlanComparison {
     /// Compares `subject` (typically RecShard) against `baseline`.
     pub fn between(subject: &ShardingPlan, baseline: &ShardingPlan) -> Self {
         let (uvm_to_hbm, hbm_to_uvm) = subject.placement_disparity(baseline);
-        Self { uvm_to_hbm, hbm_to_uvm }
+        Self {
+            uvm_to_hbm,
+            hbm_to_uvm,
+        }
     }
 }
 
@@ -33,7 +36,10 @@ impl SpeedupReport {
     /// Builds a report from `(strategy name, per-GPU iteration-time summary)`
     /// pairs.
     pub fn new(entries: Vec<(String, Summary)>) -> Self {
-        assert!(!entries.is_empty(), "a speedup report needs at least one strategy");
+        assert!(
+            !entries.is_empty(),
+            "a speedup report needs at least one strategy"
+        );
         Self { entries }
     }
 
@@ -45,13 +51,19 @@ impl SpeedupReport {
     /// Iteration time of a strategy (the max across GPUs — training is bound
     /// by the slowest trainer).
     pub fn iteration_time(&self, strategy: &str) -> Option<f64> {
-        self.entries.iter().find(|(s, _)| s == strategy).map(|(_, t)| t.max)
+        self.entries
+            .iter()
+            .find(|(s, _)| s == strategy)
+            .map(|(_, t)| t.max)
     }
 
     /// The slowest strategy's iteration time (the normalisation denominator
     /// Figure 11 uses).
     pub fn slowest_time(&self) -> f64 {
-        self.entries.iter().map(|(_, t)| t.max).fold(f64::MIN, f64::max)
+        self.entries
+            .iter()
+            .map(|(_, t)| t.max)
+            .fold(f64::MIN, f64::max)
     }
 
     /// Speedup of each strategy relative to the slowest strategy in the group
@@ -118,7 +130,13 @@ mod tests {
     use super::*;
 
     fn summary(max: f64, std: f64) -> Summary {
-        Summary { count: 16, min: max / 2.0, max, mean: max * 0.75, std_dev: std }
+        Summary {
+            count: 16,
+            min: max / 2.0,
+            max,
+            mean: max * 0.75,
+            std_dev: std,
+        }
     }
 
     #[test]

@@ -94,17 +94,23 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = RecShardConfig::default();
-        c.icdf_steps = 0;
+        let c = RecShardConfig {
+            icdf_steps: 0,
+            ..RecShardConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = RecShardConfig::default();
-        c.hbm_slack = 1.5;
+        let c = RecShardConfig {
+            hbm_slack: 1.5,
+            ..RecShardConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn builder_style_overrides() {
-        let c = RecShardConfig::default().with_exact_milp().with_icdf_steps(10);
+        let c = RecShardConfig::default()
+            .with_exact_milp()
+            .with_icdf_steps(10);
         assert_eq!(c.solver, SolverKind::ExactMilp);
         assert_eq!(c.icdf_steps, 10);
     }

@@ -56,8 +56,16 @@ impl TableCostModel {
     ) -> Self {
         let row_bytes = profile.row_bytes();
         let icdf = profile.icdf(config.icdf_steps);
-        let pooling = if config.use_pooling { profile.avg_pooling.max(0.0) } else { 1.0 };
-        let coverage = if config.use_coverage { profile.coverage } else { 1.0 };
+        let pooling = if config.use_pooling {
+            profile.avg_pooling.max(0.0)
+        } else {
+            1.0
+        };
+        let coverage = if config.use_coverage {
+            profile.coverage
+        } else {
+            1.0
+        };
         // Expected bytes the table moves per iteration (before tier split).
         let per_iter_bytes = pooling * row_bytes as f64 * batch_size as f64;
         let hbm_gbps = system.hbm_bandwidth_gbps * 1e9;
@@ -70,8 +78,7 @@ impl TableCostModel {
             // the nominal step fraction: identical row counts then yield
             // identical costs, keeping the option list monotone.
             let pct = profile.cdf.access_fraction(hbm_rows);
-            let cost_seconds =
-                per_iter_bytes * (pct / hbm_gbps + (1.0 - pct) / uvm_gbps);
+            let cost_seconds = per_iter_bytes * (pct / hbm_gbps + (1.0 - pct) / uvm_gbps);
             options.push(SplitOption {
                 step,
                 hbm_rows,
@@ -81,7 +88,12 @@ impl TableCostModel {
                 weighted_cost: coverage * cost_seconds * 1e3, // milliseconds
             });
         }
-        Self { table, total_rows: profile.hash_size, row_bytes, options }
+        Self {
+            table,
+            total_rows: profile.hash_size,
+            row_bytes,
+            options,
+        }
     }
 
     /// The option at a given ICDF step.
@@ -110,7 +122,13 @@ mod tests {
         let model = ModelSpec::small(3, 6);
         let profile = DatasetProfiler::profile_model(&model, 3_000, 2);
         let system = SystemSpec::uniform(2, 1 << 30, 1 << 34, 1555.0, 16.0);
-        TableCostModel::build(0, &profile.profiles()[0], &system, 256, &RecShardConfig::default())
+        TableCostModel::build(
+            0,
+            &profile.profiles()[0],
+            &system,
+            256,
+            &RecShardConfig::default(),
+        )
     }
 
     #[test]
@@ -147,8 +165,10 @@ mod tests {
         let system = SystemSpec::uniform(2, 1 << 30, 1 << 34, 1555.0, 16.0);
         let p = &profile.profiles()[0];
         let full = TableCostModel::build(0, p, &system, 256, &RecShardConfig::default());
-        let mut no_pool = RecShardConfig::default();
-        no_pool.use_pooling = false;
+        let no_pool = RecShardConfig {
+            use_pooling: false,
+            ..RecShardConfig::default()
+        };
         let ablated = TableCostModel::build(0, p, &system, 256, &no_pool);
         if p.avg_pooling > 1.5 {
             assert!(ablated.min_option().weighted_cost < full.min_option().weighted_cost);

@@ -26,7 +26,10 @@ pub enum RecShardError {
 impl std::fmt::Display for RecShardError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RecShardError::CapacityExceeded { required_bytes, available_bytes } => write!(
+            RecShardError::CapacityExceeded {
+                required_bytes,
+                available_bytes,
+            } => write!(
                 f,
                 "model requires {required_bytes} bytes but the system only offers {available_bytes}"
             ),

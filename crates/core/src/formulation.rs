@@ -62,7 +62,9 @@ impl MilpFormulation {
         profile: &DatasetProfile,
         system: &SystemSpec,
     ) -> Result<(MilpModel, MilpVariables, Vec<TableCostModel>), RecShardError> {
-        self.config.validate().map_err(RecShardError::InvalidConfig)?;
+        self.config
+            .validate()
+            .map_err(RecShardError::InvalidConfig)?;
         if profile.num_features() != model.num_features() {
             return Err(RecShardError::ProfileMismatch(format!(
                 "profile covers {} features, model has {}",
@@ -220,7 +222,16 @@ impl MilpFormulation {
             milp.add_constraint(format!("cost_{m}"), terms, ConstraintSense::Le, 0.0);
         }
 
-        Ok((milp, MilpVariables { p, x, c_max, cost_scale }, costs))
+        Ok((
+            milp,
+            MilpVariables {
+                p,
+                x,
+                c_max,
+                cost_scale,
+            },
+            costs,
+        ))
     }
 
     /// Builds, solves and decodes the MILP into a sharding plan.
@@ -301,7 +312,13 @@ mod tests {
         let model = ModelSpec::small(tables, seed).with_batch_size(128);
         let profile = DatasetProfiler::profile_model(&model, 1_500, seed + 9);
         // Tight HBM so placement actually matters.
-        let system = SystemSpec::uniform(2, model.total_bytes() / 5, model.total_bytes() * 2, 1555.0, 16.0);
+        let system = SystemSpec::uniform(
+            2,
+            model.total_bytes() / 5,
+            model.total_bytes() * 2,
+            1555.0,
+            16.0,
+        );
         let config = RecShardConfig::default().with_icdf_steps(6);
         (model, profile, system, config)
     }
@@ -322,9 +339,14 @@ mod tests {
     #[test]
     fn exact_plan_is_valid_and_splits_under_pressure() {
         let (model, profile, system, config) = tiny_setup(3, 42);
-        let plan = MilpFormulation::new(config).solve(&model, &profile, &system).unwrap();
+        let plan = MilpFormulation::new(config)
+            .solve(&model, &profile, &system)
+            .unwrap();
         plan.validate(&model, &system).unwrap();
-        assert!(plan.total_uvm_rows() > 0, "tight HBM must push some rows to UVM");
+        assert!(
+            plan.total_uvm_rows() > 0,
+            "tight HBM must push some rows to UVM"
+        );
         assert_eq!(plan.strategy(), "recshard-milp");
     }
 
@@ -332,7 +354,9 @@ mod tests {
     fn structured_solver_close_to_exact_optimum() {
         let (model, profile, system, config) = tiny_setup(4, 43);
         let formulation = MilpFormulation::new(config);
-        let exact_obj = formulation.optimal_objective(&model, &profile, &system).unwrap();
+        let exact_obj = formulation
+            .optimal_objective(&model, &profile, &system)
+            .unwrap();
 
         let mut structured_cfg = config;
         structured_cfg.hbm_slack = 0.0;

@@ -44,7 +44,9 @@ pub fn hash_size_sweep(
         min_multiple > 0.0 && max_multiple > min_multiple,
         "sweep bounds must be positive and increasing"
     );
-    let values: Vec<u64> = (0..cardinality).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    let values: Vec<u64> = (0..cardinality)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
     (0..points)
         .map(|k| {
             let multiple =
@@ -104,12 +106,22 @@ pub fn pre_post_hash_distribution(
     pre_hash_counts.sort_unstable_by(|a, b| b.cmp(a));
     post_hash_counts.sort_unstable_by(|a, b| b.cmp(a));
     let unused_fraction = 1.0 - post_hash_counts.len() as f64 / hash_size as f64;
-    PrePostHashDistribution { pre_hash_counts, post_hash_counts, hash_size, unused_fraction }
+    PrePostHashDistribution {
+        pre_hash_counts,
+        post_hash_counts,
+        hash_size,
+        unused_fraction,
+    }
 }
 
 /// Convenience used by tests and figures: draws `num_lookups` samples from a
 /// Zipf distribution and reports how many distinct values were observed.
-pub fn distinct_values_observed(cardinality: u64, zipf_exponent: f64, num_lookups: usize, seed: u64) -> u64 {
+pub fn distinct_values_observed(
+    cardinality: u64,
+    zipf_exponent: f64,
+    num_lookups: usize,
+    seed: u64,
+) -> u64 {
     let zipf = Zipf::new(cardinality, zipf_exponent);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::new();
@@ -150,8 +162,14 @@ mod tests {
         // allow a small tolerance; the analytic curves are exactly monotone.
         let sweep = hash_size_sweep(20_000, 0.25, 10.0, 12, 5);
         for w in sweep.windows(2) {
-            assert!(w[1].usage <= w[0].usage + 5e-3, "usage falls as hash size grows");
-            assert!(w[1].sparsity >= w[0].sparsity - 5e-3, "sparsity grows with hash size");
+            assert!(
+                w[1].usage <= w[0].usage + 5e-3,
+                "usage falls as hash size grows"
+            );
+            assert!(
+                w[1].sparsity >= w[0].sparsity - 5e-3,
+                "sparsity grows with hash size"
+            );
             assert!(
                 w[1].collision_fraction <= w[0].collision_fraction + 5e-3,
                 "collisions fall with hash size"
@@ -187,7 +205,10 @@ mod tests {
     fn distinct_values_bounded_by_cardinality() {
         let seen = distinct_values_observed(1_000, 0.8, 50_000, 3);
         assert!(seen <= 1_000);
-        assert!(seen > 500, "50k draws over 1k values should observe most of them");
+        assert!(
+            seen > 500,
+            "50k draws over 1k values should observe most of them"
+        );
     }
 
     #[test]

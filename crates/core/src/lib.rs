@@ -23,7 +23,11 @@
 //!    structured solver that exploits the problem's min-max / knapsack
 //!    structure and scales to hundreds of tables ([`solver`]),
 //! 3. **Remapping** — materialising per-table remapping tables
-//!    (`recshard-sharding`'s [`RemapTable`](recshard_sharding::RemapTable)).
+//!    (`recshard-sharding`'s [`RemapTable`](recshard_sharding::RemapTable)),
+//! 4. **Dynamic validation** — replaying a plan through the discrete-event
+//!    cluster simulator (`recshard-des`) for sustained-throughput and
+//!    tail-latency numbers, optionally with drift-driven online re-sharding
+//!    ([`RecShard::simulate_cluster`](pipeline::RecShard::simulate_cluster)).
 //!
 //! ## Quick example
 //!
@@ -62,6 +66,6 @@ pub use analysis::{PlanComparison, SpeedupReport};
 pub use config::{RecShardConfig, SolverKind};
 pub use error::RecShardError;
 pub use formulation::MilpFormulation;
-pub use hash_analysis::{HashSweepPoint, hash_size_sweep};
+pub use hash_analysis::{hash_size_sweep, HashSweepPoint};
 pub use pipeline::{RecShard, RecShardOutput};
 pub use solver::StructuredSolver;

@@ -1,11 +1,15 @@
 //! The end-to-end RecShard pipeline (Figure 10): profile → partition/place →
-//! remap.
+//! remap — plus the dynamic-cluster entry point
+//! [`RecShard::simulate_cluster`] built on `recshard-des`.
 
 use crate::config::{RecShardConfig, SolverKind};
 use crate::error::RecShardError;
 use crate::formulation::MilpFormulation;
 use crate::solver::StructuredSolver;
 use recshard_data::{ModelSpec, SampleGenerator};
+use recshard_des::{
+    ClusterConfig, ClusterSimulator, DriftSchedule, ReshardController, ReshardPolicy, RunSummary,
+};
 use recshard_sharding::{RemapTable, ShardingPlan, SystemSpec};
 use recshard_stats::{DatasetProfile, DatasetProfiler};
 
@@ -87,6 +91,54 @@ impl RecShard {
             .collect()
     }
 
+    /// Solves for a plan and replays it through the discrete-event cluster
+    /// simulator: open-loop batch arrivals, per-GPU queueing, the all-to-all
+    /// barrier — reporting sustained throughput and p50/p95/p99 iteration
+    /// sojourn times instead of the analytical single-iteration cost.
+    ///
+    /// # Errors
+    ///
+    /// See [`RecShardError`] (plan solving is the only fallible phase).
+    pub fn simulate_cluster(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        config: ClusterConfig,
+    ) -> Result<RunSummary, RecShardError> {
+        let plan = self.plan(model, profile, system)?;
+        Ok(ClusterSimulator::new(model, &plan, profile, system, config).run())
+    }
+
+    /// Like [`simulate_cluster`](Self::simulate_cluster), but the workload
+    /// drifts over `drift` and an online controller with `policy` watches
+    /// per-GPU busy-time imbalance, re-solving with *this* sharder's
+    /// configuration and hot-swapping the plan (with a migration stall) when
+    /// it trips.
+    ///
+    /// # Errors
+    ///
+    /// See [`RecShardError`] (initial plan solving is the fallible phase;
+    /// re-solve failures mid-run keep the current plan).
+    pub fn simulate_cluster_with_resharding(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        config: ClusterConfig,
+        drift: DriftSchedule,
+        policy: ReshardPolicy,
+    ) -> Result<RunSummary, RecShardError> {
+        let plan = self.plan(model, profile, system)?;
+        let resolver = self.clone();
+        let controller =
+            ReshardController::new(policy, Box::new(move |m, p, s| resolver.plan(m, p, s).ok()));
+        Ok(ClusterSimulator::new(model, &plan, profile, system, config)
+            .with_drift(drift)
+            .with_controller(controller)
+            .run())
+    }
+
     /// The full pipeline: profile `profile_samples` synthetic training samples
     /// of `model`, solve for a plan on `system`, and build the remapping
     /// tables.
@@ -109,7 +161,11 @@ impl RecShard {
         let profile = profiler.finish();
         let plan = self.plan(model, &profile, system)?;
         let remap_tables = self.remap(&plan, &profile);
-        Ok(RecShardOutput { profile, plan, remap_tables })
+        Ok(RecShardOutput {
+            profile,
+            plan,
+            remap_tables,
+        })
     }
 }
 
@@ -122,8 +178,13 @@ mod tests {
     #[test]
     fn full_pipeline_produces_consistent_output() {
         let model = ModelSpec::small(8, 17);
-        let system =
-            SystemSpec::uniform(2, model.total_bytes() / 6, model.total_bytes(), 1555.0, 16.0);
+        let system = SystemSpec::uniform(
+            2,
+            model.total_bytes() / 6,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
         let out = RecShard::default().run(&model, &system, 1_500, 3).unwrap();
         out.plan.validate(&model, &system).unwrap();
         assert_eq!(out.remap_tables.len(), model.num_features());
@@ -138,8 +199,13 @@ mod tests {
     #[test]
     fn hot_rows_end_up_in_hbm() {
         let model = ModelSpec::small(6, 23);
-        let system =
-            SystemSpec::uniform(2, model.total_bytes() / 4, model.total_bytes(), 1555.0, 16.0);
+        let system = SystemSpec::uniform(
+            2,
+            model.total_bytes() / 4,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
         let out = RecShard::default().run(&model, &system, 2_000, 5).unwrap();
         // For every table that keeps at least one row in HBM, the single most
         // frequently accessed row must be one of them.
@@ -154,20 +220,88 @@ mod tests {
     #[test]
     fn exact_solver_configurable() {
         let model = ModelSpec::small(3, 29).with_batch_size(64);
-        let system =
-            SystemSpec::uniform(2, model.total_bytes() / 4, model.total_bytes(), 1555.0, 16.0);
-        let config = RecShardConfig::default().with_exact_milp().with_icdf_steps(5);
+        let system = SystemSpec::uniform(
+            2,
+            model.total_bytes() / 4,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let config = RecShardConfig::default()
+            .with_exact_milp()
+            .with_icdf_steps(5);
         let out = RecShard::new(config).run(&model, &system, 800, 7).unwrap();
         out.plan.validate(&model, &system).unwrap();
         assert_eq!(out.plan.strategy(), "recshard-milp");
     }
 
     #[test]
+    fn simulate_cluster_reports_tails_deterministically() {
+        let model = ModelSpec::small(6, 13);
+        let system = SystemSpec::uniform(
+            2,
+            model.total_bytes() / 6,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let profile = recshard_stats::DatasetProfiler::profile_model(&model, 1_000, 3);
+        let config = recshard_des::ClusterConfig {
+            iterations: 100,
+            batch_size: 32,
+            ..recshard_des::ClusterConfig::default()
+        };
+        let sharder = RecShard::default();
+        let a = sharder
+            .simulate_cluster(&model, &profile, &system, config)
+            .unwrap();
+        let b = sharder
+            .simulate_cluster(&model, &profile, &system, config)
+            .unwrap();
+        assert_eq!(a, b, "same seed must reproduce the same cluster summary");
+        assert_eq!(a.completed, 100);
+        assert!(a.p99_ms >= a.p50_ms && a.p50_ms > 0.0);
+        assert_eq!(a.strategy, "recshard");
+    }
+
+    #[test]
+    fn simulate_cluster_with_resharding_runs_controller() {
+        let model = ModelSpec::small(6, 19);
+        let system = SystemSpec::uniform(
+            2,
+            model.total_bytes() / 6,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let profile = recshard_stats::DatasetProfiler::profile_model(&model, 1_000, 5);
+        let config = recshard_des::ClusterConfig {
+            iterations: 200,
+            batch_size: 32,
+            ..recshard_des::ClusterConfig::default()
+        };
+        let drift = recshard_des::DriftSchedule::paper_like(20);
+        let policy = recshard_des::ReshardPolicy {
+            check_every_iterations: 50,
+            ..recshard_des::ReshardPolicy::default()
+        };
+        let summary = RecShard::default()
+            .simulate_cluster_with_resharding(&model, &profile, &system, config, drift, policy)
+            .unwrap();
+        assert_eq!(summary.completed, 200);
+        // The controller may or may not fire on this workload; either way the
+        // run must drain and stay internally consistent.
+        assert!(summary.p95_ms >= summary.p50_ms);
+    }
+
+    #[test]
     fn invalid_config_is_reported() {
         let model = ModelSpec::small(3, 1);
         let system = SystemSpec::uniform(2, model.total_bytes(), model.total_bytes(), 1555.0, 16.0);
-        let mut config = RecShardConfig::default();
-        config.icdf_steps = 0;
+        let config = RecShardConfig {
+            icdf_steps: 0,
+            ..RecShardConfig::default()
+        };
         let err = RecShard::new(config).run(&model, &system, 100, 1);
         assert!(matches!(err, Err(RecShardError::InvalidConfig(_))));
     }

@@ -59,7 +59,9 @@ impl StructuredSolver {
         profile: &DatasetProfile,
         system: &SystemSpec,
     ) -> Result<ShardingPlan, RecShardError> {
-        self.config.validate().map_err(RecShardError::InvalidConfig)?;
+        self.config
+            .validate()
+            .map_err(RecShardError::InvalidConfig)?;
         if profile.num_features() != model.num_features() {
             return Err(RecShardError::ProfileMismatch(format!(
                 "profile covers {} features, model has {}",
@@ -84,8 +86,12 @@ impl StructuredSolver {
 
         // ---- Phase 1: split selection against the aggregate HBM budget ----
         let budget = (system.total_hbm_capacity() as f64 * (1.0 - self.config.hbm_slack)) as u64;
-        let mut states: Vec<TableState> =
-            costs.iter().map(|c| TableState { step: c.options.len() - 1 }).collect();
+        let mut states: Vec<TableState> = costs
+            .iter()
+            .map(|c| TableState {
+                step: c.options.len() - 1,
+            })
+            .collect();
         let mut hbm_demand: u64 = costs.iter().map(|c| c.max_option().hbm_bytes).sum();
 
         // Max-heap keyed by Reverse(marginal cost per freed byte) so the
@@ -112,27 +118,32 @@ impl StructuredSolver {
             }
         }
 
-        let downgrade_of = |costs: &[TableCostModel], table: usize, from_step: usize| -> Option<Downgrade> {
-            if from_step == 0 {
-                return None;
-            }
-            let cur = &costs[table].options[from_step];
-            // Find the next step down that actually frees bytes (skip plateaus).
-            let mut to = from_step;
-            while to > 0 {
-                to -= 1;
-                if costs[table].options[to].hbm_bytes < cur.hbm_bytes {
-                    break;
+        let downgrade_of =
+            |costs: &[TableCostModel], table: usize, from_step: usize| -> Option<Downgrade> {
+                if from_step == 0 {
+                    return None;
                 }
-            }
-            let next = &costs[table].options[to];
-            let freed = cur.hbm_bytes.saturating_sub(next.hbm_bytes);
-            if freed == 0 {
-                return None;
-            }
-            let extra_cost = (next.weighted_cost - cur.weighted_cost).max(0.0);
-            Some(Downgrade { ratio: extra_cost / freed as f64, table, from_step })
-        };
+                let cur = &costs[table].options[from_step];
+                // Find the next step down that actually frees bytes (skip plateaus).
+                let mut to = from_step;
+                while to > 0 {
+                    to -= 1;
+                    if costs[table].options[to].hbm_bytes < cur.hbm_bytes {
+                        break;
+                    }
+                }
+                let next = &costs[table].options[to];
+                let freed = cur.hbm_bytes.saturating_sub(next.hbm_bytes);
+                if freed == 0 {
+                    return None;
+                }
+                let extra_cost = (next.weighted_cost - cur.weighted_cost).max(0.0);
+                Some(Downgrade {
+                    ratio: extra_cost / freed as f64,
+                    table,
+                    from_step,
+                })
+            };
 
         let mut heap: BinaryHeap<Downgrade> = BinaryHeap::new();
         for t in 0..costs.len() {
@@ -173,7 +184,9 @@ impl StructuredSolver {
         order.sort_by(|&a, &b| {
             let ca = costs[a].options[states[a].step].weighted_cost;
             let cb = costs[b].options[states[b].step].weighted_cost;
-            cb.partial_cmp(&ca).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            cb.partial_cmp(&ca)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
 
         for &t in &order {
@@ -210,7 +223,9 @@ impl StructuredSolver {
         for _ in 0..self.config.refinement_passes {
             let bottleneck = (0..m)
                 .max_by(|&a, &b| {
-                    gpu_cost[a].partial_cmp(&gpu_cost[b]).unwrap_or(std::cmp::Ordering::Equal)
+                    gpu_cost[a]
+                        .partial_cmp(&gpu_cost[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .expect("at least one GPU");
             let mut improved = false;
@@ -285,11 +300,13 @@ impl StructuredSolver {
                         }
                     }
                 }
-                let Some((t, step, gain, extra)) = best else { break };
+                let Some((t, step, gain, extra)) = best else {
+                    break;
+                };
                 let _ = gain;
                 hbm_free[g] -= extra;
-                dram_free[g] += costs[t].options[states[t].step].uvm_bytes
-                    - costs[t].options[step].uvm_bytes;
+                dram_free[g] +=
+                    costs[t].options[states[t].step].uvm_bytes - costs[t].options[step].uvm_bytes;
                 gpu_cost[g] -= costs[t].options[states[t].step].weighted_cost
                     - costs[t].options[step].weighted_cost;
                 states[t].step = step;
@@ -335,8 +352,7 @@ impl StructuredSolver {
             let opt = cm
                 .options
                 .iter()
-                .filter(|o| o.hbm_rows <= p.hbm_rows)
-                .last()
+                .rfind(|o| o.hbm_rows <= p.hbm_rows)
                 .unwrap_or_else(|| cm.min_option());
             gpu_cost[p.gpu] += opt.weighted_cost;
         }
@@ -365,7 +381,10 @@ mod tests {
             .unwrap();
         plan.validate(&model, &system).unwrap();
         for (p, prof) in plan.placements().iter().zip(profile.profiles()) {
-            assert!(p.hbm_rows >= prof.accessed_rows(), "all accessed rows should be in HBM");
+            assert!(
+                p.hbm_rows >= prof.accessed_rows(),
+                "all accessed rows should be in HBM"
+            );
         }
     }
 
@@ -429,8 +448,13 @@ mod tests {
     #[test]
     fn deterministic() {
         let (model, profile) = setup(9, 13);
-        let system =
-            SystemSpec::uniform(3, model.total_bytes() / 5, model.total_bytes(), 1555.0, 16.0);
+        let system = SystemSpec::uniform(
+            3,
+            model.total_bytes() / 5,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
         let solver = StructuredSolver::new(RecShardConfig::default());
         let a = solver.solve(&model, &profile, &system).unwrap();
         let b = solver.solve(&model, &profile, &system).unwrap();

@@ -67,8 +67,16 @@ impl DriftModel {
         content_period_months: f64,
     ) -> Self {
         assert!(months > 0, "drift window must cover at least one month");
-        assert!(content_period_months > 0.0, "oscillation period must be positive");
-        Self { months, user_growth_per_month, content_amplitude, content_period_months }
+        assert!(
+            content_period_months > 0.0,
+            "oscillation period must be positive"
+        );
+        Self {
+            months,
+            user_growth_per_month,
+            content_amplitude,
+            content_period_months,
+        }
     }
 
     /// Number of months covered by the model.
@@ -162,7 +170,10 @@ mod tests {
                 saw_negative = true;
             }
         }
-        assert!(saw_negative, "content drift should dip below zero at some month");
+        assert!(
+            saw_negative,
+            "content drift should dip below zero at some month"
+        );
     }
 
     #[test]
@@ -184,7 +195,10 @@ mod tests {
             let ratio = new.avg_pooling() / orig.avg_pooling();
             // Constant(1)/OneHot poolings cannot shrink below 1 and round to integers.
             if orig.avg_pooling() > 1.5 {
-                assert!((ratio - expected).abs() < 0.2, "ratio {ratio} expected {expected}");
+                assert!(
+                    (ratio - expected).abs() < 0.2,
+                    "ratio {ratio} expected {expected}"
+                );
             }
         }
     }

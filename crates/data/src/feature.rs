@@ -91,7 +91,10 @@ impl FeatureSpec {
             return Err(format!("{}: coverage must be in [0, 1]", self.id));
         }
         if self.zipf_exponent < 0.0 || !self.zipf_exponent.is_finite() {
-            return Err(format!("{}: zipf exponent must be finite and >= 0", self.id));
+            return Err(format!(
+                "{}: zipf exponent must be finite and >= 0",
+                self.id
+            ));
         }
         if self.embedding_dim == 0 {
             return Err(format!("{}: embedding dimension must be non-zero", self.id));

@@ -159,13 +159,24 @@ impl GrowthTrend {
     /// Final-over-first growth multiple of model capacity.
     pub fn capacity_growth(&self) -> f64 {
         self.points.last().expect("non-empty").model_capacity_growth
-            / self.points.first().expect("non-empty").model_capacity_growth
+            / self
+                .points
+                .first()
+                .expect("non-empty")
+                .model_capacity_growth
     }
 
     /// Final-over-first growth multiple of bandwidth demand.
     pub fn bandwidth_growth(&self) -> f64 {
-        self.points.last().expect("non-empty").bandwidth_demand_growth
-            / self.points.first().expect("non-empty").bandwidth_demand_growth
+        self.points
+            .last()
+            .expect("non-empty")
+            .bandwidth_demand_growth
+            / self
+                .points
+                .first()
+                .expect("non-empty")
+                .bandwidth_demand_growth
     }
 }
 

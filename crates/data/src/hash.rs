@@ -92,7 +92,11 @@ impl FeatureHasher {
         for &v in distinct_values {
             seen.insert(self.hash(v));
         }
-        HashStats::new(distinct_values.len() as u64, seen.len() as u64, self.hash_size)
+        HashStats::new(
+            distinct_values.len() as u64,
+            seen.len() as u64,
+            self.hash_size,
+        )
     }
 }
 
@@ -111,7 +115,11 @@ pub struct HashStats {
 impl HashStats {
     /// Builds the statistics from raw counts.
     pub fn new(distinct_inputs: u64, occupied_rows: u64, hash_size: u64) -> Self {
-        Self { distinct_inputs, occupied_rows, hash_size }
+        Self {
+            distinct_inputs,
+            occupied_rows,
+            hash_size,
+        }
     }
 
     /// Fraction of the hash space that is used by at least one input value
@@ -180,7 +188,10 @@ mod tests {
         let b = FeatureHasher::new(1 << 20, 2);
         let same = (0..10_000u64).filter(|&v| a.hash(v) == b.hash(v)).count();
         // Collision by chance only: expect ~10_000 / 2^20 ≈ 0.01 matches.
-        assert!(same < 50, "seeds should decorrelate hashes, got {same} matches");
+        assert!(
+            same < 50,
+            "seeds should decorrelate hashes, got {same} matches"
+        );
     }
 
     #[test]
@@ -191,7 +202,10 @@ mod tests {
         let stats = h.collision_stats(&values);
         // Expect ~1/e of the space unused.
         let unused = stats.sparsity();
-        assert!((unused - (1.0f64 / std::f64::consts::E)).abs() < 0.02, "unused = {unused}");
+        assert!(
+            (unused - (1.0f64 / std::f64::consts::E)).abs() < 0.02,
+            "unused = {unused}"
+        );
         // Analytic curve agrees with measurement.
         assert!((stats.usage() - expected_usage(n, n)).abs() < 0.02);
     }

@@ -76,14 +76,25 @@ impl ModelSpec {
     ///
     /// Panics if any feature fails validation or if feature ids are not the
     /// dense range `0..n` in order.
-    pub fn new(name: impl Into<String>, kind: RmKind, features: Vec<FeatureSpec>, batch_size: u32) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        kind: RmKind,
+        features: Vec<FeatureSpec>,
+        batch_size: u32,
+    ) -> Self {
         for (i, f) in features.iter().enumerate() {
             assert_eq!(f.id.index(), i, "feature ids must be dense and ordered");
             if let Err(e) = f.validate() {
                 panic!("invalid feature spec: {e}");
             }
         }
-        Self { name: name.into(), kind, features, batch_size, scale_factor: 1 }
+        Self {
+            name: name.into(),
+            kind,
+            features,
+            batch_size,
+            scale_factor: 1,
+        }
     }
 
     /// The paper's RM1 model (Table 2), at production scale.
@@ -134,7 +145,11 @@ impl ModelSpec {
             features.push(FeatureSpec {
                 id: FeatureId(i as u32),
                 name: format!("small_feature_{i}"),
-                class: if i % 2 == 0 { FeatureClass::User } else { FeatureClass::Content },
+                class: if i % 2 == 0 {
+                    FeatureClass::User
+                } else {
+                    FeatureClass::Content
+                },
                 cardinality,
                 hash_size: hash_size.max(10),
                 zipf_exponent: rng.gen_range(0.0..1.4),
@@ -159,7 +174,10 @@ impl ModelSpec {
     /// per-feature hash sizes are then scaled uniformly so the total equals
     /// the Table 2 row count for the requested model.
     fn reference_model(kind: RmKind, total_hash_target: u64, hash_multiplier: u64) -> Self {
-        debug_assert_eq!(hash_multiplier, 1, "RM2/RM3 derive from RM1 via scaled_up_reference");
+        debug_assert_eq!(
+            hash_multiplier, 1,
+            "RM2/RM3 derive from RM1 via scaled_up_reference"
+        );
         // All three RMs share the same underlying feature universe; only hash
         // sizes differ, so we always derive from the same seed.
         let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EC5_4A2D);
@@ -206,7 +224,11 @@ impl ModelSpec {
                 (u * u).clamp(0.005, 1.0)
             };
 
-            let class = if rng.gen_bool(0.5) { FeatureClass::User } else { FeatureClass::Content };
+            let class = if rng.gen_bool(0.5) {
+                FeatureClass::User
+            } else {
+                FeatureClass::Content
+            };
             features.push(FeatureSpec {
                 id: FeatureId(i as u32),
                 name: format!("sparse_{:03}", i),
@@ -294,7 +316,10 @@ impl ModelSpec {
     /// Expected number of embedding rows read per training sample across all
     /// tables (`sum_j coverage_j * avg_pool_j`).
     pub fn expected_lookups_per_sample(&self) -> f64 {
-        self.features.iter().map(|f| f.expected_lookups_per_sample()).sum()
+        self.features
+            .iter()
+            .map(|f| f.expected_lookups_per_sample())
+            .sum()
     }
 
     /// Returns a copy of the model with every table's cardinality and hash
@@ -322,7 +347,10 @@ impl ModelSpec {
     ///
     /// Panics if `n` is zero or larger than the number of features.
     pub fn truncated(&self, n: usize) -> ModelSpec {
-        assert!(n > 0 && n <= self.features.len(), "invalid truncation length");
+        assert!(
+            n > 0 && n <= self.features.len(),
+            "invalid truncation length"
+        );
         ModelSpec {
             name: format!("{}[0..{}]", self.name, n),
             kind: RmKind::Custom,
@@ -359,7 +387,10 @@ mod tests {
             assert_eq!(rm3.features()[i].hash_size, rm1.features()[i].hash_size * 4);
             // Everything except hash size is shared.
             assert_eq!(rm2.features()[i].coverage, rm1.features()[i].coverage);
-            assert_eq!(rm2.features()[i].zipf_exponent, rm1.features()[i].zipf_exponent);
+            assert_eq!(
+                rm2.features()[i].zipf_exponent,
+                rm1.features()[i].zipf_exponent
+            );
         }
     }
 
@@ -385,11 +416,18 @@ mod tests {
         let m = ModelSpec::rm1();
         let poolings: Vec<f64> = m.features().iter().map(|f| f.avg_pooling()).collect();
         let coverages: Vec<f64> = m.features().iter().map(|f| f.coverage).collect();
-        assert!(poolings.iter().any(|&p| p == 1.0), "some one-hot features");
-        assert!(poolings.iter().any(|&p| p > 100.0), "some very multi-hot features");
-        assert!(coverages.iter().any(|&c| c == 1.0), "some always-present features");
+        assert!(poolings.contains(&1.0), "some one-hot features");
+        assert!(
+            poolings.iter().any(|&p| p > 100.0),
+            "some very multi-hot features"
+        );
+        assert!(coverages.contains(&1.0), "some always-present features");
         assert!(coverages.iter().any(|&c| c < 0.05), "some rare features");
-        let uniformish = m.features().iter().filter(|f| f.zipf_exponent < 0.2).count();
+        let uniformish = m
+            .features()
+            .iter()
+            .filter(|f| f.zipf_exponent < 0.2)
+            .count();
         assert!(uniformish > 0 && uniformish < m.num_features() / 4);
     }
 

@@ -15,10 +15,11 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Per-feature distribution of the number of activated categories per sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum PoolingSpec {
     /// Every present sample activates exactly `1` category (one-hot features,
     /// e.g. "country of the user").
+    #[default]
     OneHot,
     /// Every present sample activates exactly `n` categories.
     Constant(u32),
@@ -38,8 +39,14 @@ pub enum PoolingSpec {
 impl PoolingSpec {
     /// Builds a long-tail spec with the conventional cap of `4 * mean`.
     pub fn long_tail(mean: f64) -> Self {
-        assert!(mean >= 1.0 && mean.is_finite(), "mean pooling factor must be >= 1");
-        PoolingSpec::LongTail { mean, max: (mean * 4.0).ceil().max(2.0) as u32 }
+        assert!(
+            mean >= 1.0 && mean.is_finite(),
+            "mean pooling factor must be >= 1"
+        );
+        PoolingSpec::LongTail {
+            mean,
+            max: (mean * 4.0).ceil().max(2.0) as u32,
+        }
     }
 
     /// The average pooling factor of this distribution.
@@ -95,12 +102,6 @@ impl PoolingSpec {
     }
 }
 
-impl Default for PoolingSpec {
-    fn default() -> Self {
-        PoolingSpec::OneHot
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,10 +147,13 @@ mod tests {
     #[test]
     fn long_tail_respects_bounds() {
         let mut rng = seeded();
-        let spec = PoolingSpec::LongTail { mean: 20.0, max: 64 };
+        let spec = PoolingSpec::LongTail {
+            mean: 20.0,
+            max: 64,
+        };
         for _ in 0..20_000 {
             let v = spec.sample(&mut rng);
-            assert!(v >= 1 && v <= 64);
+            assert!((1..=64).contains(&v));
         }
     }
 

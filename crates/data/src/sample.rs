@@ -155,7 +155,9 @@ pub struct SampleStream {
 impl SampleStream {
     /// Creates an endless stream of samples for the model.
     pub fn new(model: &ModelSpec, seed: u64) -> Self {
-        Self { gen: SampleGenerator::new(model, seed) }
+        Self {
+            gen: SampleGenerator::new(model, seed),
+        }
     }
 }
 
@@ -196,7 +198,10 @@ mod tests {
         assert_eq!(present(0), n);
         assert_eq!(present(1), 0);
         let half = present(2) as f64 / n as f64;
-        assert!((half - 0.5).abs() < 0.05, "coverage 0.5 gave presence {half}");
+        assert!(
+            (half - 0.5).abs() < 0.05,
+            "coverage 0.5 gave presence {half}"
+        );
     }
 
     #[test]

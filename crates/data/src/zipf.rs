@@ -43,11 +43,21 @@ impl Zipf {
     /// Panics if `n == 0`, `s < 0` or `s` is not finite.
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n > 0, "support size must be non-zero");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and non-negative"
+        );
         let h_x1 = Self::h_static(1.5, s) - 1.0;
         let h_n = Self::h_static(n as f64 + 0.5, s);
-        let dense_threshold = 2.0 - Self::h_inv_static(Self::h_static(2.5, s) - Self::pow_neg(2.0, s), s);
-        Self { n, s, h_x1, h_n, dense_threshold }
+        let dense_threshold =
+            2.0 - Self::h_inv_static(Self::h_static(2.5, s) - Self::pow_neg(2.0, s), s);
+        Self {
+            n,
+            s,
+            h_x1,
+            h_n,
+            dense_threshold,
+        }
     }
 
     /// The number of categories in the support.
@@ -144,7 +154,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap() as f64;
         let min = *counts.iter().min().unwrap() as f64;
-        assert!(max / min < 1.5, "uniform sampling should be flat, got {min}..{max}");
+        assert!(
+            max / min < 1.5,
+            "uniform sampling should be flat, got {min}..{max}"
+        );
     }
 
     #[test]

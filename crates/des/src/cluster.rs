@@ -1,0 +1,620 @@
+//! The sharded-training cluster simulation.
+//!
+//! [`ClusterSimulator`] composes the deterministic event engine with the
+//! domain components: per-GPU [`GpuStation`]s, a batch [`ArrivalProcess`],
+//! the trace-driven [`IterationWorkload`], an all-to-all exchange barrier,
+//! and optionally a [drift schedule](crate::DriftSchedule) plus an
+//! [online re-sharding controller](crate::ReshardController).
+//!
+//! One training iteration flows through three event types:
+//!
+//! 1. **`Arrival`** — a batch arrives (input pipeline), its lookups are drawn
+//!    and each GPU's embedding work is enqueued at its station; the next
+//!    arrival is scheduled.
+//! 2. **`GpuDone`** — one GPU finished its gather for the iteration; when the
+//!    last GPU finishes, the all-to-all exchange starts (synchronous
+//!    training's barrier).
+//! 3. **`ExchangeDone`** — the pooled embeddings finished crossing the
+//!    interconnect; the iteration completes and its *sojourn time* (arrival →
+//!    exchange done, queueing included) streams into the p50/p95/p99 CDF.
+//!
+//! Because arrivals are open-loop, a plan whose slowest GPU cannot keep up
+//! with the arrival rate builds a queue and its tail latency diverges — the
+//! sustained-throughput behaviour the closed-form model in
+//! `recshard-memsim` cannot express.
+
+use crate::controller::{CheckOutcome, ReshardController};
+use crate::engine::EventQueue;
+use crate::station::{GpuStation, ServiceDemand};
+use crate::time::SimTime;
+use crate::workload::{ArrivalProcess, IterationWorkload};
+use crate::DriftSchedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recshard_data::ModelSpec;
+use recshard_memsim::AccessCounters;
+use recshard_sharding::{ShardingPlan, SystemSpec};
+use recshard_stats::{DatasetProfile, StreamingCdf, Summary, WelfordAccumulator};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a cluster simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Samples per training batch actually traced. Counters (and therefore
+    /// service times) can be scaled up via [`scale_to_batch`](Self::scale_to_batch).
+    pub batch_size: usize,
+    /// Number of training iterations (batches) to simulate.
+    pub iterations: u64,
+    /// Master seed; every internal stream derives from it.
+    pub seed: u64,
+    /// How batches arrive at the cluster.
+    pub arrival: ArrivalProcess,
+    /// Fixed kernel-launch + pooling overhead per table kernel, in µs (same
+    /// constant as `recshard_memsim::SimConfig`).
+    pub kernel_overhead_us_per_table: f64,
+    /// When set, access counters are scaled from `batch_size` up to this
+    /// batch before timing, like the trace simulator's `scale_to_batch`.
+    pub scale_to_batch: Option<u32>,
+    /// Base latency of the all-to-all exchange, in µs.
+    pub alltoall_latency_us: f64,
+    /// Per-GPU all-to-all bandwidth in GB/s (NVLink-class).
+    pub alltoall_bandwidth_gbps: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 128,
+            iterations: 1_000,
+            seed: 0xDE5,
+            arrival: ArrivalProcess::FixedRate { interval_ms: 1.0 },
+            kernel_overhead_us_per_table: 8.0,
+            scale_to_batch: None,
+            alltoall_latency_us: 20.0,
+            alltoall_bandwidth_gbps: 150.0,
+        }
+    }
+}
+
+/// The events of the cluster model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A training batch arrived from the input pipeline.
+    Arrival { iter: u64 },
+    /// One GPU finished its embedding gather for an iteration.
+    GpuDone { iter: u64, gpu: usize },
+    /// The all-to-all exchange of an iteration finished.
+    ExchangeDone { iter: u64 },
+}
+
+/// In-flight bookkeeping of one iteration.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    arrival: SimTime,
+    remaining_gpus: u32,
+}
+
+/// Aggregated results of one simulated run. Two runs with identical inputs
+/// and seed produce identical summaries (including the event-log
+/// fingerprint) — the determinism contract of the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Strategy name of the initially installed plan.
+    pub strategy: String,
+    /// GPUs simulated.
+    pub num_gpus: usize,
+    /// Iterations requested.
+    pub iterations: u64,
+    /// Iterations completed (== requested; open-loop arrivals always drain).
+    pub completed: u64,
+    /// Traced samples per batch.
+    pub batch_size: usize,
+    /// Virtual time of the last event, in ms.
+    pub makespan_ms: f64,
+    /// Sustained throughput: completed iterations per virtual second.
+    pub throughput_iters_per_s: f64,
+    /// Median iteration sojourn time (arrival → exchange done), ms.
+    pub p50_ms: f64,
+    /// 95th-percentile iteration sojourn time, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile iteration sojourn time, ms.
+    pub p99_ms: f64,
+    /// Exact moments of the sojourn-time distribution, ms.
+    pub iteration_time: Summary,
+    /// Queue-wait moments across all stations, ms.
+    pub queue_wait: Summary,
+    /// Per-GPU fraction of the makespan spent serving embedding work.
+    pub busy_fraction: Vec<f64>,
+    /// Per-GPU busy milliseconds (service only, stalls excluded).
+    pub per_gpu_busy_ms: Vec<f64>,
+    /// Per-GPU share of busy time spent in UVM gathers.
+    pub uvm_busy_share: Vec<f64>,
+    /// Plan swaps performed by the online re-sharding controller.
+    pub reshards: u32,
+    /// Total events processed.
+    pub events: u64,
+    /// Order-sensitive FNV-1a hash over the entire event log.
+    pub fingerprint: u64,
+}
+
+impl std::fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} iters on {} GPUs in {:.1} ms — {:.1} iters/s, sojourn p50/p95/p99 = \
+             {:.3}/{:.3}/{:.3} ms, {} reshards",
+            self.strategy,
+            self.completed,
+            self.num_gpus,
+            self.makespan_ms,
+            self.throughput_iters_per_s,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.reshards
+        )
+    }
+}
+
+/// The discrete-event cluster simulator.
+///
+/// ```
+/// use recshard_data::ModelSpec;
+/// use recshard_stats::DatasetProfiler;
+/// use recshard_sharding::{GreedySharder, SizeCost, SystemSpec};
+/// use recshard_des::{ClusterConfig, ClusterSimulator};
+///
+/// let model = ModelSpec::small(6, 3);
+/// let profile = DatasetProfiler::profile_model(&model, 500, 1);
+/// let system = SystemSpec::uniform(2, u64::MAX / 4, u64::MAX / 4, 1555.0, 16.0);
+/// let plan = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
+/// let config = ClusterConfig { iterations: 50, ..ClusterConfig::default() };
+/// let summary = ClusterSimulator::new(&model, &plan, &profile, &system, config).run();
+/// assert_eq!(summary.completed, 50);
+/// assert!(summary.p99_ms >= summary.p50_ms);
+/// ```
+#[derive(Debug)]
+pub struct ClusterSimulator {
+    config: ClusterConfig,
+    system: SystemSpec,
+    base_model: ModelSpec,
+    plan: ShardingPlan,
+    strategy: String,
+    workload: IterationWorkload,
+    tables_per_gpu: Vec<usize>,
+    queue: EventQueue<Event>,
+    stations: Vec<GpuStation>,
+    arrival_rng: StdRng,
+    workload_rng: StdRng,
+    in_flight: HashMap<u64, InFlight>,
+    sojourn_cdf: StreamingCdf,
+    completed: u64,
+    exchange_ns: u64,
+    drift: Option<DriftSchedule>,
+    current_month: u32,
+    controller: Option<ReshardController>,
+    fingerprint: u64,
+}
+
+impl ClusterSimulator {
+    /// Builds a simulator for `model` sharded by `plan` on `system`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs disagree on feature or GPU counts, or if the
+    /// configuration requests zero iterations or an empty batch.
+    pub fn new(
+        model: &ModelSpec,
+        plan: &ShardingPlan,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        config: ClusterConfig,
+    ) -> Self {
+        assert!(
+            config.iterations > 0,
+            "must simulate at least one iteration"
+        );
+        assert!(
+            config.batch_size > 0,
+            "batch must contain at least one sample"
+        );
+        assert_eq!(
+            plan.num_gpus(),
+            system.num_gpus,
+            "plan/system GPU count mismatch"
+        );
+        let workload = IterationWorkload::new(model, plan, profile);
+        let num_gpus = plan.num_gpus();
+        Self {
+            config,
+            system: *system,
+            base_model: model.clone(),
+            strategy: plan.strategy().to_string(),
+            tables_per_gpu: workload.tables_per_gpu(),
+            plan: plan.clone(),
+            workload,
+            queue: EventQueue::new(),
+            stations: (0..num_gpus).map(GpuStation::new).collect(),
+            arrival_rng: StdRng::seed_from_u64(config.seed ^ 0xA221_7A1C_0FFE_E000),
+            workload_rng: StdRng::seed_from_u64(config.seed ^ 0x3A3B_0B5C_AFE5_0000),
+            in_flight: HashMap::new(),
+            sojourn_cdf: StreamingCdf::latency_defaults(),
+            completed: 0,
+            exchange_ns: Self::exchange_ns_for(model, system, &config),
+            drift: None,
+            current_month: 0,
+            controller: None,
+            fingerprint: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+
+    /// Attaches a feature-drift schedule: the workload's pooling statistics
+    /// advance one month every `iterations_per_month` arrivals.
+    pub fn with_drift(mut self, drift: DriftSchedule) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// Attaches an online re-sharding controller.
+    pub fn with_controller(mut self, controller: ReshardController) -> Self {
+        self.controller = Some(controller);
+        self
+    }
+
+    /// All-to-all time: every GPU exchanges its share of the batch's pooled
+    /// embedding vectors with every other GPU.
+    fn exchange_ns_for(model: &ModelSpec, system: &SystemSpec, config: &ClusterConfig) -> u64 {
+        let g = system.num_gpus as f64;
+        let effective_batch = config
+            .scale_to_batch
+            .map(|b| b as f64)
+            .unwrap_or(config.batch_size as f64);
+        let pooled_bytes_per_sample: u64 = model.features().iter().map(|f| f.row_bytes()).sum();
+        // Each GPU sends (G-1)/G of its pooled outputs and the exchange is
+        // bandwidth-bound on the per-GPU link.
+        let per_gpu_bytes = effective_batch * pooled_bytes_per_sample as f64 * (g - 1.0) / (g * g);
+        let transfer_s = per_gpu_bytes / (config.alltoall_bandwidth_gbps * 1e9);
+        (config.alltoall_latency_us * 1e3 + transfer_s * 1e9).round() as u64
+    }
+
+    /// Converts one GPU's iteration counters into a station service demand,
+    /// applying the batch scale factor (as `recshard-memsim` does).
+    fn demand_for(&self, gpu: usize, counters: &AccessCounters) -> ServiceDemand {
+        let scale = self
+            .config
+            .scale_to_batch
+            .map(|b| b as f64 / self.config.batch_size as f64)
+            .unwrap_or(1.0)
+            .max(1.0);
+        let scaled = counters.scaled(scale);
+        let hbm_s = scaled.hbm_bytes as f64 / (self.system.hbm_bandwidth_gbps * 1e9);
+        let uvm_s = scaled.uvm_bytes as f64 / (self.system.uvm_bandwidth_gbps * 1e9);
+        let overhead_s =
+            self.tables_per_gpu[gpu] as f64 * self.config.kernel_overhead_us_per_table * 1e-6;
+        ServiceDemand {
+            hbm_ns: (hbm_s * 1e9).round() as u64,
+            uvm_ns: (uvm_s * 1e9).round() as u64,
+            overhead_ns: (overhead_s * 1e9).round() as u64,
+        }
+    }
+
+    /// Folds one event into the order-sensitive run fingerprint.
+    fn log_event(&mut self, time: SimTime, seq: u64, event: &Event) {
+        let (tag, a, b) = match *event {
+            Event::Arrival { iter } => (1u64, iter, 0),
+            Event::GpuDone { iter, gpu } => (2, iter, gpu as u64),
+            Event::ExchangeDone { iter } => (3, iter, 0),
+        };
+        for word in [time.as_ns(), seq, tag, a, b] {
+            self.fingerprint ^= word;
+            self.fingerprint = self.fingerprint.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn handle_arrival(&mut self, iter: u64) {
+        // Feature drift advances with the data the pipeline feeds in.
+        if let Some(drift) = &self.drift {
+            let month = drift.month_of_iteration(iter);
+            if month > self.current_month {
+                self.current_month = month;
+                let drifted = drift.drift.model_at_month(&self.base_model, month);
+                self.workload.install_model(&drifted);
+            }
+        }
+
+        let now = self.queue.now();
+        let counters = self
+            .workload
+            .sample_iteration(self.config.batch_size, &mut self.workload_rng);
+        for (gpu, c) in counters.iter().enumerate() {
+            let demand = self.demand_for(gpu, c);
+            let completion = self.stations[gpu].submit(now, demand);
+            self.queue
+                .schedule_at(completion, Event::GpuDone { iter, gpu });
+        }
+        self.in_flight.insert(
+            iter,
+            InFlight {
+                arrival: now,
+                remaining_gpus: self.stations.len() as u32,
+            },
+        );
+
+        if iter + 1 < self.config.iterations {
+            let gap = self.config.arrival.next_gap_ns(&mut self.arrival_rng);
+            self.queue
+                .schedule_after_ns(gap, Event::Arrival { iter: iter + 1 });
+        }
+    }
+
+    fn handle_gpu_done(&mut self, iter: u64) {
+        let entry = self
+            .in_flight
+            .get_mut(&iter)
+            .expect("GpuDone for unknown iteration");
+        entry.remaining_gpus -= 1;
+        if entry.remaining_gpus == 0 {
+            // Barrier passed: the all-to-all exchange starts now.
+            self.queue
+                .schedule_after_ns(self.exchange_ns, Event::ExchangeDone { iter });
+        }
+    }
+
+    fn handle_exchange_done(&mut self, iter: u64) {
+        let entry = self
+            .in_flight
+            .remove(&iter)
+            .expect("ExchangeDone for unknown iteration");
+        let sojourn_ms = self.queue.now().since(entry.arrival) as f64 / 1e6;
+        self.sojourn_cdf.push(sojourn_ms);
+        self.completed += 1;
+
+        // Online re-sharding: periodic imbalance check on completed work.
+        let Some(controller) = &mut self.controller else {
+            return;
+        };
+        if !controller.check_due(self.completed) {
+            return;
+        }
+        let busy: Vec<u64> = self.stations.iter().map(|s| s.busy_ns()).collect();
+        let outcome = controller.check(&busy, self.workload.model(), &self.plan, &self.system);
+        if let CheckOutcome::Reshard {
+            plan,
+            profile,
+            migration_ns,
+            ..
+        } = outcome
+        {
+            let now = self.queue.now();
+            for station in &mut self.stations {
+                station.stall(now, migration_ns);
+            }
+            self.workload.install_plan(&plan, &profile);
+            self.tables_per_gpu = self.workload.tables_per_gpu();
+            self.plan = plan;
+        }
+    }
+
+    /// Runs the simulation to completion and returns the summary.
+    pub fn run(mut self) -> RunSummary {
+        self.queue
+            .schedule_at(SimTime::ZERO, Event::Arrival { iter: 0 });
+        while let Some(scheduled) = self.queue.pop() {
+            self.log_event(scheduled.time, scheduled.seq, &scheduled.event);
+            match scheduled.event {
+                Event::Arrival { iter } => self.handle_arrival(iter),
+                Event::GpuDone { iter, .. } => self.handle_gpu_done(iter),
+                Event::ExchangeDone { iter } => self.handle_exchange_done(iter),
+            }
+        }
+        assert!(
+            self.in_flight.is_empty(),
+            "simulation drained with in-flight iterations"
+        );
+        assert_eq!(
+            self.completed, self.config.iterations,
+            "not every iteration completed"
+        );
+
+        let makespan = self.queue.now();
+        let makespan_ms = makespan.as_ms();
+        let mut queue_wait = WelfordAccumulator::new();
+        for s in &self.stations {
+            queue_wait.merge(s.queue_wait_ms());
+        }
+        RunSummary {
+            strategy: self.strategy.clone(),
+            num_gpus: self.stations.len(),
+            iterations: self.config.iterations,
+            completed: self.completed,
+            batch_size: self.config.batch_size,
+            makespan_ms,
+            throughput_iters_per_s: if makespan.as_secs() > 0.0 {
+                self.completed as f64 / makespan.as_secs()
+            } else {
+                0.0
+            },
+            p50_ms: self.sojourn_cdf.p50(),
+            p95_ms: self.sojourn_cdf.p95(),
+            p99_ms: self.sojourn_cdf.p99(),
+            iteration_time: self.sojourn_cdf.summary(),
+            queue_wait: queue_wait.summary(),
+            busy_fraction: self
+                .stations
+                .iter()
+                .map(|s| s.busy_ns() as f64 / makespan.as_ns().max(1) as f64)
+                .collect(),
+            per_gpu_busy_ms: self
+                .stations
+                .iter()
+                .map(|s| s.busy_ns() as f64 / 1e6)
+                .collect(),
+            uvm_busy_share: self
+                .stations
+                .iter()
+                .map(|s| {
+                    let busy = s.busy_ns();
+                    if busy == 0 {
+                        0.0
+                    } else {
+                        s.busy_uvm_ns() as f64 / busy as f64
+                    }
+                })
+                .collect(),
+            reshards: self.controller.as_ref().map_or(0, |c| c.reshard_count()),
+            events: self.queue.processed(),
+            fingerprint: self.fingerprint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recshard_sharding::{GreedySharder, SizeCost, TablePlacement};
+    use recshard_stats::DatasetProfiler;
+
+    fn setup(gpus: usize) -> (ModelSpec, DatasetProfile, SystemSpec, ShardingPlan) {
+        let model = ModelSpec::small(8, 5);
+        let profile = DatasetProfiler::profile_model(&model, 1_000, 2);
+        let system = SystemSpec::uniform(gpus, u64::MAX / 8, u64::MAX / 8, 1555.0, 16.0);
+        let plan = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
+        (model, profile, system, plan)
+    }
+
+    fn config(iterations: u64) -> ClusterConfig {
+        ClusterConfig {
+            iterations,
+            batch_size: 32,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_same_summary_and_fingerprint() {
+        let (model, profile, system, plan) = setup(4);
+        let run = || ClusterSimulator::new(&model, &plan, &profile, &system, config(200)).run();
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical seeds must reproduce the identical summary");
+        // A different seed produces a different event log.
+        let c = ClusterSimulator::new(
+            &model,
+            &plan,
+            &profile,
+            &system,
+            ClusterConfig {
+                seed: 1,
+                ..config(200)
+            },
+        )
+        .run();
+        assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn all_iterations_complete_and_ordered_percentiles() {
+        let (model, profile, system, plan) = setup(2);
+        let s = ClusterSimulator::new(&model, &plan, &profile, &system, config(300)).run();
+        assert_eq!(s.completed, 300);
+        assert!(s.p50_ms > 0.0);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+        assert!(s.iteration_time.min <= s.p50_ms && s.p99_ms <= s.iteration_time.max);
+        assert!(s.throughput_iters_per_s > 0.0);
+        assert_eq!(s.events, 300 + 300 * 2 + 300);
+    }
+
+    #[test]
+    fn busy_time_never_exceeds_makespan() {
+        let (model, profile, system, plan) = setup(4);
+        let s = ClusterSimulator::new(&model, &plan, &profile, &system, config(150)).run();
+        for (&busy_ms, &frac) in s.per_gpu_busy_ms.iter().zip(&s.busy_fraction) {
+            assert!(busy_ms <= s.makespan_ms + 1e-9);
+            assert!((0.0..=1.0).contains(&frac));
+        }
+    }
+
+    #[test]
+    fn saturating_arrivals_build_queues() {
+        let (model, profile, system, plan) = setup(2);
+        // Arrivals far faster than service: sojourn times must stretch far
+        // beyond the unloaded service time and grow monotonically in rank.
+        let fast = ClusterConfig {
+            arrival: ArrivalProcess::FixedRate {
+                interval_ms: 0.0001,
+            },
+            ..config(300)
+        };
+        let slow = ClusterConfig {
+            arrival: ArrivalProcess::FixedRate { interval_ms: 50.0 },
+            ..config(300)
+        };
+        let loaded = ClusterSimulator::new(&model, &plan, &profile, &system, fast).run();
+        let unloaded = ClusterSimulator::new(&model, &plan, &profile, &system, slow).run();
+        assert!(
+            loaded.p99_ms > unloaded.p99_ms * 5.0,
+            "saturation must inflate tail latency ({} vs {})",
+            loaded.p99_ms,
+            unloaded.p99_ms
+        );
+        assert!(loaded.queue_wait.max > 0.0);
+        assert_eq!(
+            unloaded.queue_wait.max, 0.0,
+            "unloaded stations never queue"
+        );
+    }
+
+    #[test]
+    fn uvm_heavy_plan_is_slower_and_attributed_to_uvm() {
+        let (model, profile, system, _) = setup(2);
+        let hbm_plan = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
+        let uvm_placements: Vec<TablePlacement> = model
+            .features()
+            .iter()
+            .map(|f| TablePlacement {
+                table: f.id,
+                gpu: f.id.index() % 2,
+                hbm_rows: 0,
+                total_rows: f.hash_size,
+                row_bytes: f.row_bytes(),
+            })
+            .collect();
+        let uvm_plan = ShardingPlan::new("all-uvm", 2, uvm_placements);
+        let cfg = ClusterConfig {
+            arrival: ArrivalProcess::FixedRate { interval_ms: 10.0 },
+            // No launch overhead, so busy time is pure tier gather time and
+            // the UVM attribution is visible even at a small batch size.
+            kernel_overhead_us_per_table: 0.0,
+            ..config(100)
+        };
+        let fast = ClusterSimulator::new(&model, &hbm_plan, &profile, &system, cfg).run();
+        let slow = ClusterSimulator::new(&model, &uvm_plan, &profile, &system, cfg).run();
+        assert!(
+            slow.p50_ms > fast.p50_ms,
+            "all-UVM embeddings must be slower ({} vs {})",
+            slow.p50_ms,
+            fast.p50_ms
+        );
+        assert!(slow.uvm_busy_share.iter().any(|&x| x > 0.9));
+        assert!(fast.uvm_busy_share.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_per_seed() {
+        let (model, profile, system, plan) = setup(2);
+        let cfg = ClusterConfig {
+            arrival: ArrivalProcess::Poisson {
+                mean_interval_ms: 2.0,
+            },
+            ..config(200)
+        };
+        let a = ClusterSimulator::new(&model, &plan, &profile, &system, cfg).run();
+        let b = ClusterSimulator::new(&model, &plan, &profile, &system, cfg).run();
+        assert_eq!(a, b);
+    }
+}

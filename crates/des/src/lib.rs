@@ -1,0 +1,83 @@
+//! # recshard-des
+//!
+//! A seeded, deterministic **discrete-event cluster simulator** for sharded
+//! embedding-table training.
+//!
+//! The static RecShard pipeline (profile → placement → remap) and the
+//! closed-form/trace simulators in `recshard-memsim` answer "how long does
+//! one iteration take in isolation?". The paper's headline claims, however,
+//! are about *sustained training throughput* on a multi-GPU cluster, where
+//! queueing in front of slow GPUs, UVM stalls, kernel launch overheads, the
+//! all-to-all barrier and load imbalance interact **over time**. This crate
+//! models that dynamic system:
+//!
+//! * [`EventQueue`] — a binary-heap event queue with a virtual clock and
+//!   stable `(time, sequence)` tie-breaking: identical seeds replay identical
+//!   event logs, bit for bit.
+//! * [`GpuStation`] — per-GPU FIFO service stations whose service time splits
+//!   into HBM, UVM and kernel-overhead components (the additive mixed-tier
+//!   model of Section 4.2).
+//! * [`ArrivalProcess`] / [`IterationWorkload`] — fixed-rate or Poisson batch
+//!   arrivals whose lookups are drawn from the *same* Zipf/pooling/coverage
+//!   generators as the rest of the reproduction (`recshard-data`) and routed
+//!   through the active plan's remap tables.
+//! * an **all-to-all exchange barrier** — synchronous training completes an
+//!   iteration only after the slowest GPU's gather plus the interconnect
+//!   exchange.
+//! * [`ReshardController`] + [`DriftSchedule`] — online re-sharding: the
+//!   workload drifts (Figure 9), the controller watches per-GPU busy-time
+//!   imbalance, and swaps in a freshly solved [`ShardingPlan`] mid-run,
+//!   charging a migration stall.
+//! * tail-latency metrics — per-iteration sojourn times stream into
+//!   `recshard-stats`' constant-space [`StreamingCdf`] (P² quantiles), so
+//!   p50/p95/p99 come out of million-iteration runs without buffering.
+//!
+//! [`ShardingPlan`]: recshard_sharding::ShardingPlan
+//! [`StreamingCdf`]: recshard_stats::StreamingCdf
+//!
+//! ## When to use which simulator
+//!
+//! | question | tool |
+//! |---|---|
+//! | expected per-iteration time of a plan | `recshard_memsim::AnalyticalEstimator` |
+//! | where do a batch's accesses land | `recshard_memsim::EmbeddingOpSimulator` |
+//! | sustained throughput, p99 tails, drift, re-sharding | [`ClusterSimulator`] |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use recshard_data::ModelSpec;
+//! use recshard_stats::DatasetProfiler;
+//! use recshard_sharding::{GreedySharder, SizeCost, SystemSpec};
+//! use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator};
+//!
+//! let model = ModelSpec::small(8, 3);
+//! let profile = DatasetProfiler::profile_model(&model, 1_000, 7);
+//! let system = SystemSpec::uniform(4, u64::MAX / 8, u64::MAX / 8, 1555.0, 16.0);
+//! let plan = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
+//!
+//! let config = ClusterConfig {
+//!     iterations: 500,
+//!     arrival: ArrivalProcess::Poisson { mean_interval_ms: 2.0 },
+//!     ..ClusterConfig::default()
+//! };
+//! let summary = ClusterSimulator::new(&model, &plan, &profile, &system, config).run();
+//! assert_eq!(summary.completed, 500);
+//! println!("{summary}");
+//! ```
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cluster;
+pub mod controller;
+pub mod engine;
+pub mod station;
+pub mod time;
+pub mod workload;
+
+pub use cluster::{ClusterConfig, ClusterSimulator, RunSummary};
+pub use controller::{CheckOutcome, DriftSchedule, PlanSolver, ReshardController, ReshardPolicy};
+pub use engine::{EventQueue, Scheduled};
+pub use station::{GpuStation, ServiceDemand};
+pub use time::SimTime;
+pub use workload::{ArrivalProcess, IterationWorkload};

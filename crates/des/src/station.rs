@@ -1,0 +1,188 @@
+//! Per-GPU service stations.
+//!
+//! Each GPU is modelled as a FIFO service station executing its share of the
+//! embedding operator one iteration at a time. A station serves each job
+//! through two serial channels — the HBM gather and the UVM gather — because
+//! mixed-tier reads within one kernel take approximately the *sum* of the two
+//! tiers' times (Section 4.2 of the paper, "Key Properties"); the channels
+//! are tracked separately so reports can attribute busy time to tiers.
+
+use crate::time::SimTime;
+use recshard_stats::WelfordAccumulator;
+use serde::{Deserialize, Serialize};
+
+/// Service demand of one job (one iteration's embedding work on one GPU),
+/// split by memory tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServiceDemand {
+    /// Time to gather the job's HBM-resident rows, in nanoseconds.
+    pub hbm_ns: u64,
+    /// Time to gather the job's UVM-resident rows (including fault/stall
+    /// overhead folded into the UVM bandwidth), in nanoseconds.
+    pub uvm_ns: u64,
+    /// Fixed kernel-launch and pooling overhead, in nanoseconds.
+    pub overhead_ns: u64,
+}
+
+impl ServiceDemand {
+    /// Total serial service time of the job.
+    pub fn total_ns(&self) -> u64 {
+        self.hbm_ns + self.uvm_ns + self.overhead_ns
+    }
+}
+
+/// A single-server FIFO station modelling one GPU's embedding engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuStation {
+    gpu: usize,
+    /// Virtual time at which the station next becomes idle.
+    free_at: SimTime,
+    /// Cumulative time spent serving jobs, by component.
+    busy_hbm_ns: u64,
+    busy_uvm_ns: u64,
+    busy_overhead_ns: u64,
+    /// Cumulative stall time injected by migrations/re-sharding.
+    stall_ns: u64,
+    jobs_served: u64,
+    /// Distribution of how long jobs waited in queue before service.
+    queue_wait_ms: WelfordAccumulator,
+}
+
+impl GpuStation {
+    /// An idle station for the given GPU id.
+    pub fn new(gpu: usize) -> Self {
+        Self {
+            gpu,
+            free_at: SimTime::ZERO,
+            busy_hbm_ns: 0,
+            busy_uvm_ns: 0,
+            busy_overhead_ns: 0,
+            stall_ns: 0,
+            jobs_served: 0,
+            queue_wait_ms: WelfordAccumulator::new(),
+        }
+    }
+
+    /// The GPU this station models.
+    pub fn gpu(&self) -> usize {
+        self.gpu
+    }
+
+    /// Submits a job arriving at `now`; it starts when the station frees up
+    /// (FIFO) and runs for its serial HBM + UVM + overhead service time.
+    /// Returns the completion time.
+    ///
+    /// Callers must submit in nondecreasing arrival order (the discrete-event
+    /// loop does, since it submits at pop time); an out-of-order submit is
+    /// accepted but records a queue wait measured from *its* `now`.
+    pub fn submit(&mut self, now: SimTime, demand: ServiceDemand) -> SimTime {
+        let start = self.free_at.max(now);
+        self.queue_wait_ms.push(start.since(now) as f64 / 1e6);
+        let completion = start.after_ns(demand.total_ns());
+        self.free_at = completion;
+        self.busy_hbm_ns += demand.hbm_ns;
+        self.busy_uvm_ns += demand.uvm_ns;
+        self.busy_overhead_ns += demand.overhead_ns;
+        self.jobs_served += 1;
+        completion
+    }
+
+    /// Blocks the station for `stall_ns` starting no earlier than `now` —
+    /// used to charge plan-migration downtime during online re-sharding.
+    pub fn stall(&mut self, now: SimTime, stall_ns: u64) {
+        self.free_at = self.free_at.max(now).after_ns(stall_ns);
+        self.stall_ns += stall_ns;
+    }
+
+    /// Virtual time at which the station next becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total busy (serving) nanoseconds, excluding migration stalls.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_hbm_ns + self.busy_uvm_ns + self.busy_overhead_ns
+    }
+
+    /// Busy nanoseconds attributable to UVM gathers.
+    pub fn busy_uvm_ns(&self) -> u64 {
+        self.busy_uvm_ns
+    }
+
+    /// Busy nanoseconds attributable to HBM gathers.
+    pub fn busy_hbm_ns(&self) -> u64 {
+        self.busy_hbm_ns
+    }
+
+    /// Nanoseconds of injected migration stall.
+    pub fn stall_ns(&self) -> u64 {
+        self.stall_ns
+    }
+
+    /// Jobs served so far.
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs_served
+    }
+
+    /// Queue-wait distribution (milliseconds) of submitted jobs.
+    pub fn queue_wait_ms(&self) -> &WelfordAccumulator {
+        &self.queue_wait_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(hbm: u64, uvm: u64, overhead: u64) -> ServiceDemand {
+        ServiceDemand {
+            hbm_ns: hbm,
+            uvm_ns: uvm,
+            overhead_ns: overhead,
+        }
+    }
+
+    #[test]
+    fn idle_station_serves_immediately() {
+        let mut s = GpuStation::new(0);
+        let done = s.submit(SimTime(100), demand(50, 20, 5));
+        assert_eq!(done, SimTime(175));
+        assert_eq!(s.busy_ns(), 75);
+        assert_eq!(s.jobs_served(), 1);
+        assert_eq!(s.queue_wait_ms().max(), Some(0.0));
+    }
+
+    #[test]
+    fn busy_station_queues_fifo() {
+        let mut s = GpuStation::new(0);
+        let first = s.submit(SimTime(0), demand(100, 0, 0));
+        assert_eq!(first, SimTime(100));
+        // Arrives while busy: waits until 100, finishes at 150.
+        let second = s.submit(SimTime(30), demand(50, 0, 0));
+        assert_eq!(second, SimTime(150));
+        // Queue wait of the second job was 70 ns.
+        assert!((s.queue_wait_ms().max().unwrap() - 70.0 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_time_is_sum_of_components() {
+        let mut s = GpuStation::new(1);
+        s.submit(SimTime(0), demand(10, 20, 3));
+        s.submit(SimTime(0), demand(5, 0, 3));
+        assert_eq!(s.busy_hbm_ns(), 15);
+        assert_eq!(s.busy_uvm_ns(), 20);
+        assert_eq!(s.busy_ns(), 41);
+    }
+
+    #[test]
+    fn stall_pushes_out_free_time_without_counting_busy() {
+        let mut s = GpuStation::new(0);
+        s.submit(SimTime(0), demand(100, 0, 0));
+        s.stall(SimTime(0), 1_000);
+        assert_eq!(s.free_at(), SimTime(1_100));
+        assert_eq!(s.busy_ns(), 100);
+        assert_eq!(s.stall_ns(), 1_000);
+        // Next job starts after the stall.
+        assert_eq!(s.submit(SimTime(0), demand(10, 0, 0)), SimTime(1_110));
+    }
+}

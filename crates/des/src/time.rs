@@ -1,0 +1,108 @@
+//! Virtual simulation time.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, in integer nanoseconds since simulation start.
+///
+/// Integer nanoseconds (rather than `f64` milliseconds) make event ordering
+/// exact: two events scheduled from the same timing computation compare
+/// identically on every platform, which the determinism guarantee of the
+/// engine relies on.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Converts from milliseconds (saturating at zero for negative inputs).
+    pub fn from_ms(ms: f64) -> Self {
+        SimTime((ms.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Converts from microseconds (saturating at zero for negative inputs).
+    pub fn from_us(us: f64) -> Self {
+        SimTime((us.max(0.0) * 1e3).round() as u64)
+    }
+
+    /// The time as fractional milliseconds.
+    pub fn as_ms(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The time as fractional seconds.
+    pub fn as_secs(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Raw nanoseconds.
+    pub fn as_ns(&self) -> u64 {
+        self.0
+    }
+
+    /// This time advanced by `ns` nanoseconds (saturating, so an absurdly
+    /// large delay pins to the far future instead of wrapping around and
+    /// violating event-queue causality).
+    pub fn after_ns(&self, ns: u64) -> SimTime {
+        SimTime(self.0.saturating_add(ns))
+    }
+
+    /// Nanoseconds elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self` (a causality bug).
+    pub fn since(&self, earlier: SimTime) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("SimTime::since called with a later timestamp")
+    }
+}
+
+impl std::ops::Add<SimTime> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_ms(1.5);
+        assert_eq!(t.as_ns(), 1_500_000);
+        assert!((t.as_ms() - 1.5).abs() < 1e-12);
+        assert!((SimTime::from_us(250.0).as_ms() - 0.25).abs() < 1e-12);
+        assert!((SimTime(2_000_000_000).as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(1.0).after_ns(500);
+        assert_eq!(t.as_ns(), 1_000_500);
+        assert_eq!(t.since(SimTime::from_ms(1.0)), 500);
+        assert_eq!((SimTime(3) + SimTime(4)).as_ns(), 7);
+    }
+
+    #[test]
+    fn negative_ms_saturates_to_zero() {
+        assert_eq!(SimTime::from_ms(-3.0), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "later timestamp")]
+    fn since_panics_on_causality_violation() {
+        let _ = SimTime(1).since(SimTime(2));
+    }
+}

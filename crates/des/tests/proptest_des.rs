@@ -1,0 +1,105 @@
+//! Property-based tests for the discrete-event cluster simulator: physical
+//! invariants and determinism must hold for arbitrary configurations.
+
+use proptest::prelude::*;
+use recshard_data::ModelSpec;
+use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator, EventQueue, SimTime};
+use recshard_sharding::{GreedySharder, SizeCost, SystemSpec};
+use recshard_stats::DatasetProfiler;
+
+fn run_summary(
+    tables: usize,
+    gpus: usize,
+    iterations: u64,
+    batch: usize,
+    interval_us: u64,
+    seed: u64,
+    poisson: bool,
+) -> recshard_des::RunSummary {
+    let model = ModelSpec::small(tables, seed ^ 0x51);
+    let profile = DatasetProfiler::profile_model(&model, 300, seed ^ 0x52);
+    let system = SystemSpec::uniform(gpus, u64::MAX / 16, u64::MAX / 16, 1555.0, 16.0);
+    let plan = GreedySharder::new(SizeCost)
+        .shard(&model, &profile, &system)
+        .unwrap();
+    let interval_ms = interval_us as f64 / 1e3;
+    let config = ClusterConfig {
+        batch_size: batch,
+        iterations,
+        seed,
+        arrival: if poisson {
+            ArrivalProcess::Poisson {
+                mean_interval_ms: interval_ms,
+            }
+        } else {
+            ArrivalProcess::FixedRate { interval_ms }
+        },
+        ..ClusterConfig::default()
+    };
+    ClusterSimulator::new(&model, &plan, &profile, &system, config).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A GPU cannot be busy for longer than virtual time has elapsed, no
+    /// matter the arrival process, load level or seed.
+    #[test]
+    fn busy_time_bounded_by_elapsed_time(
+        tables in 2usize..8,
+        gpus in 2usize..5,
+        iterations in 10u64..60,
+        batch in 4usize..32,
+        interval_us in 0u64..4_000,
+        seed in any::<u64>(),
+    ) {
+        let s = run_summary(tables, gpus, iterations, batch, interval_us, seed, false);
+        prop_assert_eq!(s.completed, iterations);
+        for (gpu, &busy_ms) in s.per_gpu_busy_ms.iter().enumerate() {
+            prop_assert!(
+                busy_ms <= s.makespan_ms + 1e-9,
+                "GPU {} busy {} ms exceeds makespan {} ms", gpu, busy_ms, s.makespan_ms
+            );
+        }
+        prop_assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+    }
+
+    /// Same seed ⇒ identical event log (fingerprint) and identical summary,
+    /// for both arrival processes.
+    #[test]
+    fn identical_seed_replays_identical_event_log(
+        tables in 2usize..6,
+        gpus in 2usize..4,
+        iterations in 5u64..40,
+        batch in 4usize..24,
+        interval_us in 1u64..3_000,
+        seed in any::<u64>(),
+        poisson in any::<bool>(),
+    ) {
+        let a = run_summary(tables, gpus, iterations, batch, interval_us, seed, poisson);
+        let b = run_summary(tables, gpus, iterations, batch, interval_us, seed, poisson);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The engine pops events in nondecreasing time order with FIFO
+    /// tie-breaking, for arbitrary schedules.
+    #[test]
+    fn engine_orders_arbitrary_schedules(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(ev) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(ev.time >= lt, "time went backwards");
+                if ev.time == lt {
+                    // Same timestamp: scheduling order (== payload order here).
+                    prop_assert!(ev.event > li, "FIFO tie-break violated");
+                }
+            }
+            last = Some((ev.time, ev.event));
+        }
+        prop_assert_eq!(q.processed(), times.len() as u64);
+    }
+}

@@ -37,7 +37,12 @@ impl EmbeddingBag {
         for w in &mut weights {
             *w = rng.gen_range(-scale..scale);
         }
-        Self { hash_size: spec.hash_size, dim, weights, hasher_seed: spec.hash_seed }
+        Self {
+            hash_size: spec.hash_size,
+            dim,
+            weights,
+            hasher_seed: spec.hash_seed,
+        }
     }
 
     /// Embedding dimension.
@@ -77,7 +82,10 @@ impl EmbeddingBag {
         for &raw in raw_values {
             let row = self.row_of(raw);
             let base = row * self.dim;
-            for (w, g) in self.weights[base..base + self.dim].iter_mut().zip(pooled_grad) {
+            for (w, g) in self.weights[base..base + self.dim]
+                .iter_mut()
+                .zip(pooled_grad)
+            {
                 *w -= learning_rate * g;
             }
         }
@@ -143,7 +151,10 @@ mod tests {
         let before = bag.row(row)[0];
         bag.sgd_update(&[7, 7], &vec![1.0; bag.dim()], 0.1);
         let after = bag.row(row)[0];
-        assert!((before - after - 0.2).abs() < 1e-6, "two contributions of lr*1.0 each");
+        assert!(
+            (before - after - 0.2).abs() < 1e-6,
+            "two contributions of lr*1.0 each"
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@
 pub fn dot_interaction(dense: &[f32], pooled_embeddings: &[Vec<f32>]) -> Vec<f32> {
     let d = dense.len();
     for e in pooled_embeddings {
-        assert_eq!(e.len(), d, "all interaction inputs must share one dimension");
+        assert_eq!(
+            e.len(),
+            d,
+            "all interaction inputs must share one dimension"
+        );
     }
     let mut all: Vec<&[f32]> = Vec::with_capacity(pooled_embeddings.len() + 1);
     all.push(dense);

@@ -28,7 +28,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two sizes are given.
     pub fn new<R: Rng + ?Sized>(layer_sizes: &[usize], rng: &mut R) -> Self {
-        assert!(layer_sizes.len() >= 2, "an MLP needs an input and an output size");
+        assert!(
+            layer_sizes.len() >= 2,
+            "an MLP needs an input and an output size"
+        );
         let mut weights = Vec::new();
         let mut biases = Vec::new();
         for w in layer_sizes.windows(2) {
@@ -131,7 +134,10 @@ mod tests {
     fn relu_is_applied_to_hidden_layers() {
         let mlp = Mlp::new(&[2, 16, 1], &mut rng());
         let (_, acts) = mlp.forward(&[1.0, -1.0]);
-        assert!(acts.inputs[1].iter().all(|&v| v >= 0.0), "hidden activations must be non-negative");
+        assert!(
+            acts.inputs[1].iter().all(|&v| v >= 0.0),
+            "hidden activations must be non-negative"
+        );
     }
 
     #[test]
@@ -152,7 +158,10 @@ mod tests {
             }
             mlp.backward(&acts, &[2.0 * err], 0.05);
         }
-        assert!(last_loss < first_loss.unwrap().max(0.05), "loss should decrease: {last_loss}");
+        assert!(
+            last_loss < first_loss.unwrap().max(0.05),
+            "loss should decrease: {last_loss}"
+        );
     }
 
     #[test]

@@ -28,12 +28,19 @@ impl DlrmConfig {
     /// single output unit.
     pub fn new(dense_dim: usize, bottom_layers: Vec<usize>, top_layers: Vec<usize>) -> Self {
         assert!(dense_dim > 0, "dense input dimension must be non-zero");
-        assert!(!bottom_layers.is_empty(), "bottom MLP needs at least one layer");
+        assert!(
+            !bottom_layers.is_empty(),
+            "bottom MLP needs at least one layer"
+        );
         assert!(
             top_layers.last() == Some(&1),
             "top MLP must end in a single CTR output unit"
         );
-        Self { dense_dim, bottom_layers, top_layers }
+        Self {
+            dense_dim,
+            bottom_layers,
+            top_layers,
+        }
     }
 }
 
@@ -56,9 +63,15 @@ impl DlrmModel {
     /// embedding dimension, or if the spec's tables are too large to
     /// materialise (scale the spec down first).
     pub fn new(spec: &ModelSpec, config: &DlrmConfig, seed: u64) -> Self {
-        let emb_dim = spec.features().first().map(|f| f.embedding_dim as usize).unwrap_or(0);
+        let emb_dim = spec
+            .features()
+            .first()
+            .map(|f| f.embedding_dim as usize)
+            .unwrap_or(0);
         assert!(
-            spec.features().iter().all(|f| f.embedding_dim as usize == emb_dim),
+            spec.features()
+                .iter()
+                .all(|f| f.embedding_dim as usize == emb_dim),
             "all tables must share one embedding dimension"
         );
         assert_eq!(
@@ -81,7 +94,12 @@ impl DlrmModel {
             .iter()
             .map(|f| EmbeddingBag::new(f, &mut rng))
             .collect();
-        Self { config: config.clone(), bottom, top, embeddings }
+        Self {
+            config: config.clone(),
+            bottom,
+            top,
+            embeddings,
+        }
     }
 
     /// The architecture configuration.
@@ -121,11 +139,20 @@ impl DlrmModel {
         labels: &[f32],
         learning_rate: f32,
     ) -> f32 {
-        assert_eq!(dense_batch.len(), sparse_batch.len(), "batch length mismatch");
+        assert_eq!(
+            dense_batch.len(),
+            sparse_batch.len(),
+            "batch length mismatch"
+        );
         assert_eq!(dense_batch.len(), labels.len(), "batch length mismatch");
         assert!(!dense_batch.is_empty(), "batch must not be empty");
         let mut total_loss = 0.0f32;
-        let emb_dim = self.config.bottom_layers.last().copied().expect("non-empty");
+        let emb_dim = self
+            .config
+            .bottom_layers
+            .last()
+            .copied()
+            .expect("non-empty");
 
         for ((dense, sparse), &label) in dense_batch.iter().zip(sparse_batch).zip(labels) {
             // ---- forward ----
@@ -228,7 +255,9 @@ mod tests {
         let mut last = 0.0;
         for epoch in 0..30 {
             let sparse = gen.batch(32);
-            let dense: Vec<Vec<f32>> = (0..32).map(|i| vec![(i % 2) as f32, 0.5, 0.1, 0.9]).collect();
+            let dense: Vec<Vec<f32>> = (0..32)
+                .map(|i| vec![(i % 2) as f32, 0.5, 0.1, 0.9])
+                .collect();
             let labels: Vec<f32> = (0..32).map(|i| (i % 2) as f32).collect();
             last = model.train_step(&dense, &sparse, &labels, 0.1);
             if epoch == 0 {

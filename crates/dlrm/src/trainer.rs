@@ -104,11 +104,18 @@ impl HybridParallelTrainer {
                 vec![x; self.model.config().dense_dim]
             })
             .collect();
-        let labels: Vec<f32> = dense.iter().map(|d| if d[0] > 0.5 { 1.0 } else { 0.0 }).collect();
-        let loss = self.model.train_step(&dense, &sparse, &labels, learning_rate);
+        let labels: Vec<f32> = dense
+            .iter()
+            .map(|d| if d[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        let loss = self
+            .model
+            .train_step(&dense, &sparse, &labels, learning_rate);
 
         // Simulated production-scale embedding time for the sharding plan.
-        let report = self.simulator.run_iteration(self.simulated_batch, &mut self.rng);
+        let report = self
+            .simulator
+            .run_iteration(self.simulated_batch, &mut self.rng);
         self.steps_run += 1;
         TrainingStepReport {
             loss,
@@ -118,8 +125,15 @@ impl HybridParallelTrainer {
     }
 
     /// Runs `steps` training steps and returns the per-step reports.
-    pub fn run(&mut self, steps: usize, numeric_batch: usize, learning_rate: f32) -> Vec<TrainingStepReport> {
-        (0..steps).map(|_| self.step(numeric_batch, learning_rate)).collect()
+    pub fn run(
+        &mut self,
+        steps: usize,
+        numeric_batch: usize,
+        learning_rate: f32,
+    ) -> Vec<TrainingStepReport> {
+        (0..steps)
+            .map(|_| self.step(numeric_batch, learning_rate))
+            .collect()
     }
 }
 
@@ -138,7 +152,9 @@ mod tests {
         let dlrm = DlrmModel::new(&spec, &DlrmConfig::new(4, vec![8, emb_dim], vec![8, 1]), 3);
         let profile = DatasetProfiler::profile_model(&spec, 800, 5);
         let system = SystemSpec::uniform(2, spec.total_bytes(), spec.total_bytes(), 1555.0, 16.0);
-        let plan = GreedySharder::new(SizeCost).shard(&spec, &profile, &system).unwrap();
+        let plan = GreedySharder::new(SizeCost)
+            .shard(&spec, &profile, &system)
+            .unwrap();
         let sim = EmbeddingOpSimulator::new(&spec, &plan, &profile, &system, SimConfig::default());
         let gen = SampleGenerator::new(&spec, 9);
         HybridParallelTrainer::new(dlrm, sim, gen, 5.0, 32, 11)
@@ -162,6 +178,9 @@ mod tests {
         assert_eq!(reports.len(), 25);
         let first: f32 = reports[..5].iter().map(|r| r.loss).sum::<f32>() / 5.0;
         let last: f32 = reports[20..].iter().map(|r| r.loss).sum::<f32>() / 5.0;
-        assert!(last <= first * 1.05, "loss should not increase: first {first}, last {last}");
+        assert!(
+            last <= first * 1.05,
+            "loss should not increase: first {first}, last {last}"
+        );
     }
 }

@@ -6,6 +6,11 @@
 //! from the profile's CDFs — exactly the estimate RecShard's MILP optimises.
 //! Comparing the two validates that the MILP's objective is a faithful proxy
 //! for the simulated (and, in the paper, measured) iteration time.
+//!
+//! Both views are static: one iteration in isolation. The discrete-event
+//! simulator in `recshard-des` consumes these per-iteration costs as station
+//! service times to answer the dynamic questions (queueing, tails, drift);
+//! see the crate-level docs for when to use which.
 
 use recshard_sharding::{ShardingPlan, SystemSpec};
 use recshard_stats::DatasetProfile;
@@ -34,7 +39,11 @@ impl<'a> AnalyticalEstimator<'a> {
     /// Creates an estimator for the given profile, system and batch size.
     pub fn new(profile: &'a DatasetProfile, system: &'a SystemSpec, batch_size: u32) -> Self {
         assert!(batch_size > 0, "batch size must be non-zero");
-        Self { profile, system, batch_size }
+        Self {
+            profile,
+            system,
+            batch_size,
+        }
     }
 
     /// Expected fraction of a table's accesses served from HBM under the
@@ -51,8 +60,7 @@ impl<'a> AnalyticalEstimator<'a> {
         for (t, placement) in plan.placements().iter().enumerate() {
             let prof = &self.profile.profiles()[t];
             // Expected rows touched per iteration for this table.
-            let expected_rows =
-                self.batch_size as f64 * prof.coverage * prof.avg_pooling;
+            let expected_rows = self.batch_size as f64 * prof.coverage * prof.avg_pooling;
             let pct_hbm = prof.cdf.access_fraction(placement.hbm_rows);
             let hbm_rows = expected_rows * pct_hbm;
             let uvm_rows = expected_rows * (1.0 - pct_hbm);
@@ -70,7 +78,10 @@ impl<'a> AnalyticalEstimator<'a> {
     /// The estimated iteration time of a plan: the slowest GPU's expected time
     /// (the quantity RecShard's MILP minimises).
     pub fn iteration_time_ms(&self, plan: &ShardingPlan) -> f64 {
-        self.estimate(plan).iter().map(|e| e.time_ms).fold(0.0, f64::max)
+        self.estimate(plan)
+            .iter()
+            .map(|e| e.time_ms)
+            .fold(0.0, f64::max)
     }
 
     /// The estimated fraction of all accesses served from UVM.
@@ -107,7 +118,9 @@ mod tests {
     #[test]
     fn all_hbm_plan_has_zero_uvm_estimate() {
         let (model, profile, system) = setup();
-        let plan = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
+        let plan = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
         let est = AnalyticalEstimator::new(&profile, &system, 256);
         assert_eq!(est.uvm_access_fraction(&plan), 0.0);
         assert!(est.iteration_time_ms(&plan) > 0.0);
@@ -139,7 +152,10 @@ mod tests {
             &plan,
             &profile,
             &system,
-            SimConfig { kernel_overhead_us_per_table: 0.0, scale_to_batch: None },
+            SimConfig {
+                kernel_overhead_us_per_table: 0.0,
+                scale_to_batch: None,
+            },
         );
         let report = sim.run(5, 256, 17);
         let simulated_uvm = report.uvm_access_fraction();
@@ -171,7 +187,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let t = est.iteration_time_ms(&mk(frac));
-            assert!(t <= prev + 1e-9, "time must not increase as HBM share grows");
+            assert!(
+                t <= prev + 1e-9,
+                "time must not increase as HBM share grows"
+            );
             prev = t;
         }
     }

@@ -1,4 +1,11 @@
 //! Trace-driven embedding-operator simulation.
+//!
+//! Simulates single iterations in isolation: each run draws fresh multi-hot
+//! batches, routes every lookup through the plan's remap tables and charges
+//! the bandwidth-bound timing model. For time-extended behaviour — queueing
+//! between iterations, the all-to-all barrier, p99 tails, drift and online
+//! re-sharding — use the discrete-event cluster simulator in `recshard-des`,
+//! which reuses this crate's timing model for its station service times.
 
 use crate::counters::AccessCounters;
 use crate::timing::embedding_kernel_time_ms;
@@ -23,7 +30,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { kernel_overhead_us_per_table: 8.0, scale_to_batch: None }
+        Self {
+            kernel_overhead_us_per_table: 8.0,
+            scale_to_batch: None,
+        }
     }
 }
 
@@ -113,13 +123,21 @@ impl RunReport {
     /// Mean HBM accesses per GPU per iteration (Table 5).
     pub fn mean_hbm_accesses_per_gpu(&self) -> f64 {
         let n = self.per_gpu_mean_counters.len().max(1);
-        self.per_gpu_mean_counters.iter().map(|c| c.hbm_accesses as f64).sum::<f64>() / n as f64
+        self.per_gpu_mean_counters
+            .iter()
+            .map(|c| c.hbm_accesses as f64)
+            .sum::<f64>()
+            / n as f64
     }
 
     /// Mean UVM accesses per GPU per iteration (Table 5).
     pub fn mean_uvm_accesses_per_gpu(&self) -> f64 {
         let n = self.per_gpu_mean_counters.len().max(1);
-        self.per_gpu_mean_counters.iter().map(|c| c.uvm_accesses as f64).sum::<f64>() / n as f64
+        self.per_gpu_mean_counters
+            .iter()
+            .map(|c| c.uvm_accesses as f64)
+            .sum::<f64>()
+            / n as f64
     }
 
     /// Fraction of all embedding accesses served from UVM.
@@ -164,10 +182,22 @@ impl EmbeddingOpSimulator {
         system: &SystemSpec,
         config: SimConfig,
     ) -> Self {
-        assert_eq!(plan.placements().len(), model.num_features(), "plan/model mismatch");
-        assert_eq!(profile.num_features(), model.num_features(), "profile/model mismatch");
+        assert_eq!(
+            plan.placements().len(),
+            model.num_features(),
+            "plan/model mismatch"
+        );
+        assert_eq!(
+            profile.num_features(),
+            model.num_features(),
+            "profile/model mismatch"
+        );
         let remaps = Self::build_remap_tables(plan, profile);
-        let value_dists = model.features().iter().map(|f| f.value_distribution()).collect();
+        let value_dists = model
+            .features()
+            .iter()
+            .map(|f| f.value_distribution())
+            .collect();
         let mut tables_per_gpu = vec![0usize; plan.num_gpus()];
         for p in plan.placements() {
             tables_per_gpu[p.gpu] += 1;
@@ -215,34 +245,16 @@ impl EmbeddingOpSimulator {
         simulated_batch: usize,
         rng: &mut R,
     ) -> IterationReport {
-        assert!(simulated_batch > 0, "batch must contain at least one sample");
-        let mut counters = vec![AccessCounters::new(); self.plan.num_gpus()];
-
-        for (f, spec) in self.model.features().iter().enumerate() {
-            let placement = &self.plan.placements()[f];
-            let remap = &self.remaps[f];
-            let hasher = spec.hasher();
-            let dist = &self.value_dists[f];
-            let gpu = placement.gpu;
-            let row_bytes = spec.row_bytes();
-            let mut hbm_rows = 0u64;
-            let mut uvm_rows = 0u64;
-            for _ in 0..simulated_batch {
-                if rng.gen::<f64>() >= spec.coverage {
-                    continue;
-                }
-                let pool = spec.pooling.sample(rng);
-                for _ in 0..pool {
-                    let row = hasher.hash(dist.sample(rng));
-                    match remap.tier_of(row) {
-                        MemoryTier::Hbm => hbm_rows += 1,
-                        MemoryTier::Uvm => uvm_rows += 1,
-                    }
-                }
-            }
-            counters[gpu].record_hbm(hbm_rows, row_bytes);
-            counters[gpu].record_uvm(uvm_rows, row_bytes);
-        }
+        let gpu_of: Vec<usize> = self.plan.placements().iter().map(|p| p.gpu).collect();
+        let counters = sample_batch_accesses(
+            &self.model,
+            &self.value_dists,
+            &self.remaps,
+            &gpu_of,
+            self.plan.num_gpus(),
+            simulated_batch,
+            rng,
+        );
 
         // Scale a sub-sampled batch up to the configured full batch size.
         let scale = self
@@ -263,7 +275,11 @@ impl EmbeddingOpSimulator {
                     self.tables_per_gpu[gpu],
                     self.config.kernel_overhead_us_per_table,
                 );
-                GpuIterationStats { gpu, counters: scaled, time_ms }
+                GpuIterationStats {
+                    gpu,
+                    counters: scaled,
+                    time_ms,
+                }
             })
             .collect();
         IterationReport { per_gpu }
@@ -298,6 +314,67 @@ impl EmbeddingOpSimulator {
     }
 }
 
+/// Draws one batch of `simulated_batch` multi-hot samples and returns the
+/// per-GPU tier access counters its lookups induce: for each feature, a
+/// coverage draw, a pooling draw, then `pool` hashed Zipf values routed
+/// through that feature's remap table, accumulated on `gpu_of[feature]`.
+///
+/// This is *the* trace-sampling kernel shared by the single-iteration
+/// simulator here and the discrete-event cluster simulator in
+/// `recshard-des`, so the two backends stay draw-for-draw comparable.
+///
+/// # Panics
+///
+/// Panics if `simulated_batch` is zero or the slices disagree with the
+/// model's feature count.
+pub fn sample_batch_accesses<R: Rng + ?Sized>(
+    model: &ModelSpec,
+    value_dists: &[Zipf],
+    remaps: &[RemapTable],
+    gpu_of: &[usize],
+    num_gpus: usize,
+    simulated_batch: usize,
+    rng: &mut R,
+) -> Vec<AccessCounters> {
+    assert!(
+        simulated_batch > 0,
+        "batch must contain at least one sample"
+    );
+    assert_eq!(
+        value_dists.len(),
+        model.num_features(),
+        "dists/model mismatch"
+    );
+    assert_eq!(remaps.len(), model.num_features(), "remaps/model mismatch");
+    assert_eq!(gpu_of.len(), model.num_features(), "gpu map/model mismatch");
+    let mut counters = vec![AccessCounters::new(); num_gpus];
+    for (f, spec) in model.features().iter().enumerate() {
+        let remap = &remaps[f];
+        let hasher = spec.hasher();
+        let dist = &value_dists[f];
+        let gpu = gpu_of[f];
+        let row_bytes = spec.row_bytes();
+        let mut hbm_rows = 0u64;
+        let mut uvm_rows = 0u64;
+        for _ in 0..simulated_batch {
+            if rng.gen::<f64>() >= spec.coverage {
+                continue;
+            }
+            let pool = spec.pooling.sample(rng);
+            for _ in 0..pool {
+                let row = hasher.hash(dist.sample(rng));
+                match remap.tier_of(row) {
+                    MemoryTier::Hbm => hbm_rows += 1,
+                    MemoryTier::Uvm => uvm_rows += 1,
+                }
+            }
+        }
+        counters[gpu].record_hbm(hbm_rows, row_bytes);
+        counters[gpu].record_uvm(uvm_rows, row_bytes);
+    }
+    counters
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,7 +392,9 @@ mod tests {
     #[test]
     fn accesses_are_conserved_across_tiers() {
         let (model, profile, system) = setup(6);
-        let plan = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
+        let plan = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
         let sim = EmbeddingOpSimulator::new(&model, &plan, &profile, &system, SimConfig::default());
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let report = sim.run_iteration(128, &mut rng);
@@ -351,7 +430,9 @@ mod tests {
     #[test]
     fn uvm_heavy_plan_is_slower_than_hbm_plan() {
         let (model, profile, system) = setup(6);
-        let hbm_plan = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
+        let hbm_plan = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
         let uvm_placements = model
             .features()
             .iter()
@@ -379,9 +460,17 @@ mod tests {
     #[test]
     fn batch_scaling_multiplies_counts() {
         let (model, profile, system) = setup(4);
-        let plan = GreedySharder::new(LookupCost).shard(&model, &profile, &system).unwrap();
-        let base = SimConfig { kernel_overhead_us_per_table: 0.0, scale_to_batch: None };
-        let scaled = SimConfig { kernel_overhead_us_per_table: 0.0, scale_to_batch: Some(1024) };
+        let plan = GreedySharder::new(LookupCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
+        let base = SimConfig {
+            kernel_overhead_us_per_table: 0.0,
+            scale_to_batch: None,
+        };
+        let scaled = SimConfig {
+            kernel_overhead_us_per_table: 0.0,
+            scale_to_batch: Some(1024),
+        };
         let sim_a = EmbeddingOpSimulator::new(&model, &plan, &profile, &system, base);
         let sim_b = EmbeddingOpSimulator::new(&model, &plan, &profile, &system, scaled);
         let mut rng_a = rand::rngs::StdRng::seed_from_u64(3);
@@ -389,14 +478,20 @@ mod tests {
         let a = sim_a.run_iteration(128, &mut rng_a).total_counters();
         let b = sim_b.run_iteration(128, &mut rng_b).total_counters();
         let ratio = b.hbm_accesses as f64 / a.hbm_accesses.max(1) as f64;
-        assert!((ratio - 8.0).abs() < 0.01, "1024/128 = 8x scaling, got {ratio}");
+        assert!(
+            (ratio - 8.0).abs() < 0.01,
+            "1024/128 = 8x scaling, got {ratio}"
+        );
     }
 
     #[test]
     fn run_report_summary_shapes() {
         let (model, profile, system) = setup(5);
-        let plan = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
-        let mut sim = EmbeddingOpSimulator::new(&model, &plan, &profile, &system, SimConfig::default());
+        let plan = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
+        let mut sim =
+            EmbeddingOpSimulator::new(&model, &plan, &profile, &system, SimConfig::default());
         let report = sim.run(4, 64, 11);
         assert_eq!(report.iterations(), 4);
         assert_eq!(report.per_gpu_mean_time_ms().len(), 2);
@@ -409,16 +504,22 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (model, profile, system) = setup(4);
-        let plan = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
-        let mut a = EmbeddingOpSimulator::new(&model, &plan, &profile, &system, SimConfig::default());
-        let mut b = EmbeddingOpSimulator::new(&model, &plan, &profile, &system, SimConfig::default());
+        let plan = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
+        let mut a =
+            EmbeddingOpSimulator::new(&model, &plan, &profile, &system, SimConfig::default());
+        let mut b =
+            EmbeddingOpSimulator::new(&model, &plan, &profile, &system, SimConfig::default());
         assert_eq!(a.run(2, 64, 99), b.run(2, 64, 99));
     }
 
     #[test]
     fn remap_storage_is_four_bytes_per_row() {
         let (model, profile, system) = setup(4);
-        let plan = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
+        let plan = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
         let sim = EmbeddingOpSimulator::new(&model, &plan, &profile, &system, SimConfig::default());
         assert_eq!(sim.remap_storage_bytes(), model.total_hash_size() * 4);
     }

@@ -17,6 +17,31 @@
 //! relative speedups between sharding strategies) are functions of *where
 //! accesses land*, which the simulation computes exactly.
 //!
+//! ## Analytical model vs. discrete-event model
+//!
+//! This crate answers **single-iteration, steady-state** questions with two
+//! tools that share one timing model ([`embedding_kernel_time_ms`]):
+//!
+//! * [`AnalyticalEstimator`] — closed-form *expected* per-GPU access counts
+//!   and times, straight from the profile's CDFs. This is exactly the
+//!   objective RecShard's MILP optimises; use it when you need the number the
+//!   solver believes, or a fast estimate without sampling (e.g. to calibrate
+//!   an arrival rate).
+//! * [`EmbeddingOpSimulator`] — trace-driven: draws actual multi-hot batches
+//!   and counts where every lookup lands. Use it to validate plans against
+//!   sampled (rather than expected) traffic, and for the per-tier access
+//!   counts of Tables 5–6.
+//!
+//! Neither models *time-extended* behaviour: batches queueing behind a slow
+//! GPU, the all-to-all barrier, tail latency, workload drift, or online
+//! re-sharding. Those are the `recshard-des` crate's job — its
+//! `ClusterSimulator` replays a plan through an event-driven cluster with
+//! per-GPU FIFO stations (service times charged by this crate's
+//! [`embedding_kernel_time_ms`] formula) and reports sustained throughput and
+//! p50/p95/p99 sojourn times. Rule of thumb: "how expensive is an
+//! iteration?" → this crate; "what happens to the training pipeline over a
+//! million iterations?" → `recshard-des`.
+//!
 //! ```
 //! use recshard_data::ModelSpec;
 //! use recshard_stats::DatasetProfiler;
@@ -41,5 +66,8 @@ pub mod timing;
 
 pub use analytical::AnalyticalEstimator;
 pub use counters::AccessCounters;
-pub use engine::{EmbeddingOpSimulator, GpuIterationStats, IterationReport, RunReport, SimConfig};
+pub use engine::{
+    sample_batch_accesses, EmbeddingOpSimulator, GpuIterationStats, IterationReport, RunReport,
+    SimConfig,
+};
 pub use timing::embedding_kernel_time_ms;

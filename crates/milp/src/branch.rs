@@ -34,7 +34,10 @@ impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; we want the node with the *smallest*
         // minimization bound first (best-first search).
-        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -67,7 +70,11 @@ impl<'a> BranchAndBound<'a> {
         let root_lower: Vec<f64> = model.variables().iter().map(|v| v.lower).collect();
         let root_upper: Vec<f64> = model.variables().iter().map(|v| v.upper).collect();
 
-        let minimize_sign = if model.sense() == Sense::Maximize { -1.0 } else { 1.0 };
+        let minimize_sign = if model.sense() == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        };
         let mut stats = SolveStats::default();
 
         // Solve the root relaxation first so pure LPs exit immediately.
@@ -149,7 +156,11 @@ impl<'a> BranchAndBound<'a> {
                     if down.lower[var] <= down.upper[var] + EPS {
                         heap.push(down);
                     }
-                    let mut up = Node { bound: bound_min, lower: node.lower, upper: node.upper };
+                    let mut up = Node {
+                        bound: bound_min,
+                        lower: node.lower,
+                        upper: node.upper,
+                    };
                     up.lower[var] = value.ceil();
                     if up.lower[var] <= up.upper[var] + EPS {
                         heap.push(up);
@@ -207,7 +218,9 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let vals = [10.0, 13.0, 7.0, 4.0];
         let weights = [3.0, 4.0, 2.0, 1.0];
-        let vars: Vec<_> = (0..4).map(|i| m.add_binary(format!("x{i}"), vals[i])).collect();
+        let vars: Vec<_> = (0..4)
+            .map(|i| m.add_binary(format!("x{i}"), vals[i]))
+            .collect();
         m.add_constraint(
             "cap",
             vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect(),
@@ -216,7 +229,11 @@ mod tests {
         );
         let sol = m.solve().unwrap();
         assert_eq!(sol.status(), Status::Optimal);
-        assert!((sol.objective() - 24.0).abs() < 1e-6, "obj {}", sol.objective());
+        assert!(
+            (sol.objective() - 24.0).abs() < 1e-6,
+            "obj {}",
+            sol.objective()
+        );
         assert_eq!(sol.value(vars[0]).round() as i64, 0);
         assert_eq!(sol.value(vars[1]).round() as i64, 1);
         assert_eq!(sol.value(vars[2]).round() as i64, 1);
@@ -254,7 +271,9 @@ mod tests {
         let c = m.add_continuous("C", 1.0);
         let mut assign = Vec::new();
         for j in 0..3 {
-            let row: Vec<_> = (0..2).map(|g| m.add_binary(format!("p_{g}_{j}"), 0.0)).collect();
+            let row: Vec<_> = (0..2)
+                .map(|g| m.add_binary(format!("p_{g}_{j}"), 0.0))
+                .collect();
             m.add_constraint(
                 format!("one_gpu_{j}"),
                 row.iter().map(|&v| (v, 1.0)).collect(),
@@ -269,7 +288,11 @@ mod tests {
             m.add_constraint(format!("load_{g}"), terms, ConstraintSense::Le, 0.0);
         }
         let sol = m.solve().unwrap();
-        assert!((sol.objective() - 5.0).abs() < 1e-6, "makespan {}", sol.objective());
+        assert!(
+            (sol.objective() - 5.0).abs() < 1e-6,
+            "makespan {}",
+            sol.objective()
+        );
     }
 
     #[test]
@@ -289,7 +312,12 @@ mod tests {
         let a = m.add_binary("a", 1.0);
         let b = m.add_binary("b", 5.0);
         let c = m.add_binary("c", 3.0);
-        m.add_constraint("pick1", vec![(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintSense::Eq, 1.0);
+        m.add_constraint(
+            "pick1",
+            vec![(a, 1.0), (b, 1.0), (c, 1.0)],
+            ConstraintSense::Eq,
+            1.0,
+        );
         let sol = m.solve().unwrap();
         assert!((sol.objective() - 5.0).abs() < 1e-6);
         assert_eq!(sol.value(b).round() as i64, 1);
@@ -306,7 +334,10 @@ mod tests {
             .collect();
         m.add_constraint(
             "cap",
-            vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i as f64 * 0.77) % 2.0)).collect(),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i as f64 * 0.77) % 2.0))
+                .collect(),
             ConstraintSense::Le,
             3.7,
         );
@@ -328,7 +359,11 @@ mod tests {
         let sol = m.solve().unwrap();
         // x=3 (integer), y=2 → 12; x=2,y=2.5 → 11.5. Optimal 12... but x+y<=5
         // allows x=3,y=2 exactly. Also x=2.5 not allowed.
-        assert!((sol.objective() - 12.0).abs() < 1e-6, "obj {}", sol.objective());
+        assert!(
+            (sol.objective() - 12.0).abs() < 1e-6,
+            "obj {}",
+            sol.objective()
+        );
         assert!((sol.value(x) - 3.0).abs() < 1e-6);
     }
 }

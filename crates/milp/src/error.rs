@@ -24,7 +24,10 @@ impl std::fmt::Display for MilpError {
             MilpError::Infeasible => write!(f, "problem is infeasible"),
             MilpError::Unbounded => write!(f, "objective is unbounded"),
             MilpError::NodeLimit { limit } => {
-                write!(f, "node limit of {limit} reached without an integer solution")
+                write!(
+                    f,
+                    "node limit of {limit} reached without an integer solution"
+                )
             }
             MilpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
         }

@@ -88,7 +88,12 @@ pub struct Model {
 impl Model {
     /// Creates an empty model with the given optimization direction.
     pub fn new(sense: Sense) -> Self {
-        Self { sense, variables: Vec::new(), constraints: Vec::new(), node_limit: 200_000 }
+        Self {
+            sense,
+            variables: Vec::new(),
+            constraints: Vec::new(),
+            node_limit: 200_000,
+        }
     }
 
     /// Adds a variable and returns its handle.
@@ -104,14 +109,23 @@ impl Model {
         upper: f64,
         objective: f64,
     ) -> VarId {
-        assert!(!lower.is_nan() && !upper.is_nan(), "variable bounds must not be NaN");
+        assert!(
+            !lower.is_nan() && !upper.is_nan(),
+            "variable bounds must not be NaN"
+        );
         let (lower, upper) = match kind {
             VarKind::Binary => (lower.max(0.0), upper.min(1.0)),
             _ => (lower, upper),
         };
         assert!(lower <= upper, "lower bound must not exceed upper bound");
         let id = VarId(self.variables.len());
-        self.variables.push(Variable { name: name.into(), kind, lower, upper, objective });
+        self.variables.push(Variable {
+            name: name.into(),
+            kind,
+            lower,
+            upper,
+            objective,
+        });
         id
     }
 
@@ -141,9 +155,17 @@ impl Model {
     ) {
         assert!(rhs.is_finite(), "constraint rhs must be finite");
         for (v, _) in &terms {
-            assert!(v.index() < self.variables.len(), "constraint references unknown variable");
+            assert!(
+                v.index() < self.variables.len(),
+                "constraint references unknown variable"
+            );
         }
-        self.constraints.push(Constraint { name: name.into(), terms, sense, rhs });
+        self.constraints.push(Constraint {
+            name: name.into(),
+            terms,
+            sense,
+            rhs,
+        });
     }
 
     /// Sets the branch-and-bound node limit (default 200,000).
@@ -201,14 +223,16 @@ impl Model {
             if x < v.lower - tol || x > v.upper + tol {
                 return false;
             }
-            if matches!(v.kind, VarKind::Integer | VarKind::Binary)
-                && (x - x.round()).abs() > tol
-            {
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary) && (x - x.round()).abs() > tol {
                 return false;
             }
         }
         for c in &self.constraints {
-            let lhs: f64 = c.terms.iter().map(|&(v, coeff)| coeff * values[v.index()]).sum();
+            let lhs: f64 = c
+                .terms
+                .iter()
+                .map(|&(v, coeff)| coeff * values[v.index()])
+                .sum();
             let ok = match c.sense {
                 ConstraintSense::Le => lhs <= c.rhs + tol,
                 ConstraintSense::Ge => lhs >= c.rhs - tol,

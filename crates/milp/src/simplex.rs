@@ -48,7 +48,11 @@ impl LpProblem {
     pub fn from_model(model: &Model, lower: Vec<f64>, upper: Vec<f64>) -> Self {
         let maximize = model.sense() == Sense::Maximize;
         let sign = if maximize { -1.0 } else { 1.0 };
-        let obj: Vec<f64> = model.variables().iter().map(|v| sign * v.objective).collect();
+        let obj: Vec<f64> = model
+            .variables()
+            .iter()
+            .map(|v| sign * v.objective)
+            .collect();
         let rows = model
             .constraints()
             .iter()
@@ -60,7 +64,14 @@ impl LpProblem {
                 (coeffs, c.sense, c.rhs)
             })
             .collect();
-        Self { obj, obj_offset: 0.0, rows, lower, upper, maximize }
+        Self {
+            obj,
+            obj_offset: 0.0,
+            rows,
+            lower,
+            upper,
+            maximize,
+        }
     }
 
     /// Solves the LP.
@@ -80,7 +91,8 @@ impl LpProblem {
 
         // Shift variables so every structural variable has lower bound 0:
         // x = y + l, y >= 0. Finite upper bounds become rows y_j <= u_j - l_j.
-        let mut rows: Vec<(Vec<f64>, ConstraintSense, f64)> = Vec::with_capacity(self.rows.len() + n);
+        let mut rows: Vec<(Vec<f64>, ConstraintSense, f64)> =
+            Vec::with_capacity(self.rows.len() + n);
         let mut obj_offset = self.obj_offset;
         for (coeffs, sense, rhs) in &self.rows {
             let mut shifted_rhs = *rhs;
@@ -279,8 +291,16 @@ impl LpProblem {
         // Objective in minimization form: -obj_value is c_B^T b (since we
         // accumulated obj_value as the negative), plus shift offset.
         let min_objective = -obj_value + obj_offset;
-        let objective = if self.maximize { -min_objective } else { min_objective };
-        Ok(LpSolution { objective, values, pivots })
+        let objective = if self.maximize {
+            -min_objective
+        } else {
+            min_objective
+        };
+        Ok(LpSolution {
+            objective,
+            values,
+            pivots,
+        })
     }
 
     /// Whether the original model maximizes.
@@ -399,8 +419,18 @@ mod tests {
         let y = m.add_continuous("y", -57.0);
         let z = m.add_continuous("z", -9.0);
         let w = m.add_continuous("w", -24.0);
-        m.add_constraint("c1", vec![(x, 0.5), (y, -5.5), (z, -2.5), (w, 9.0)], ConstraintSense::Le, 0.0);
-        m.add_constraint("c2", vec![(x, 0.5), (y, -1.5), (z, -0.5), (w, 1.0)], ConstraintSense::Le, 0.0);
+        m.add_constraint(
+            "c1",
+            vec![(x, 0.5), (y, -5.5), (z, -2.5), (w, 9.0)],
+            ConstraintSense::Le,
+            0.0,
+        );
+        m.add_constraint(
+            "c2",
+            vec![(x, 0.5), (y, -1.5), (z, -0.5), (w, 1.0)],
+            ConstraintSense::Le,
+            0.0,
+        );
         m.add_constraint("c3", vec![(x, 1.0)], ConstraintSense::Le, 1.0);
         let sol = lp(&m).solve().unwrap();
         assert!((sol.objective - 1.0).abs() < 1e-5);

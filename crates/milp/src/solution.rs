@@ -33,7 +33,12 @@ pub struct Solution {
 
 impl Solution {
     pub(crate) fn new(status: Status, objective: f64, values: Vec<f64>, stats: SolveStats) -> Self {
-        Self { status, objective, values, stats }
+        Self {
+            status,
+            objective,
+            values,
+            stats,
+        }
     }
 
     /// Termination status.

@@ -118,7 +118,10 @@ mod tests {
     #[test]
     fn names_are_distinct() {
         let names = [SizeCost.name(), LookupCost.name(), SizeLookupCost.name()];
-        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
     }
 
     #[test]

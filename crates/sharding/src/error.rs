@@ -29,10 +29,19 @@ pub enum ShardingError {
 impl std::fmt::Display for ShardingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ShardingError::CapacityExceeded { table, overflow_bytes } => {
-                write!(f, "table {table} exceeds available capacity by {overflow_bytes} bytes")
+            ShardingError::CapacityExceeded {
+                table,
+                overflow_bytes,
+            } => {
+                write!(
+                    f,
+                    "table {table} exceeds available capacity by {overflow_bytes} bytes"
+                )
             }
-            ShardingError::SystemTooSmall { required_bytes, available_bytes } => write!(
+            ShardingError::SystemTooSmall {
+                required_bytes,
+                available_bytes,
+            } => write!(
                 f,
                 "model needs {required_bytes} bytes but the system only has {available_bytes}"
             ),

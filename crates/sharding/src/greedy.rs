@@ -62,7 +62,11 @@ impl<C: CostFunction> GreedySharder<C> {
             .map(|(spec, prof)| (spec.id.index(), self.cost_fn.cost(spec, prof)))
             .collect();
         // Descending cost, deterministic tie-break on feature id.
-        order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        order.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
 
         // Step II: greedy assignment to the GPU with the lowest accumulated
         // cost that still has room.
@@ -79,7 +83,10 @@ impl<C: CostFunction> GreedySharder<C> {
             // GPUs ordered by accumulated cost (cheapest first).
             let mut gpus: Vec<usize> = (0..m).collect();
             gpus.sort_by(|&a, &b| {
-                gpu_cost[a].partial_cmp(&gpu_cost[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+                gpu_cost[a]
+                    .partial_cmp(&gpu_cost[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
             });
 
             // Prefer placing the whole table in HBM on the cheapest GPU with room.
@@ -118,7 +125,10 @@ impl<C: CostFunction> GreedySharder<C> {
             placements[idx] = Some(placement);
         }
 
-        let placements = placements.into_iter().map(|p| p.expect("every table placed")).collect();
+        let placements = placements
+            .into_iter()
+            .map(|p| p.expect("every table placed"))
+            .collect();
         Ok(ShardingPlan::new(self.cost_fn.name(), m, placements))
     }
 }
@@ -140,7 +150,9 @@ mod tests {
     fn all_in_hbm_when_capacity_ample() {
         let (model, profile) = setup(10);
         let system = SystemSpec::uniform(4, model.total_bytes(), model.total_bytes(), 1555.0, 16.0);
-        let plan = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
+        let plan = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
         plan.validate(&model, &system).unwrap();
         assert_eq!(plan.total_uvm_rows(), 0);
         assert_eq!(plan.strategy(), "size");
@@ -152,7 +164,9 @@ mod tests {
         // HBM only fits about half the model.
         let per_gpu_hbm = model.total_bytes() / 8;
         let system = SystemSpec::uniform(4, per_gpu_hbm, model.total_bytes(), 1555.0, 16.0);
-        let plan = GreedySharder::new(LookupCost).shard(&model, &profile, &system).unwrap();
+        let plan = GreedySharder::new(LookupCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
         plan.validate(&model, &system).unwrap();
         assert!(plan.total_uvm_rows() > 0, "some tables must spill");
         // The baseline never splits a table: each table is fully in one tier.
@@ -165,12 +179,17 @@ mod tests {
     fn load_is_spread_across_gpus() {
         let (model, profile) = setup(16);
         let system = SystemSpec::uniform(4, model.total_bytes(), model.total_bytes(), 1555.0, 16.0);
-        let plan = GreedySharder::new(SizeLookupCost).shard(&model, &profile, &system).unwrap();
+        let plan = GreedySharder::new(SizeLookupCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
         let mut counts = vec![0usize; 4];
         for p in plan.placements() {
             counts[p.gpu] += 1;
         }
-        assert!(counts.iter().all(|&c| c >= 1), "every GPU should receive tables: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c >= 1),
+            "every GPU should receive tables: {counts:?}"
+        );
     }
 
     #[test]
@@ -197,18 +216,38 @@ mod tests {
     #[test]
     fn deterministic_output() {
         let (model, profile) = setup(10);
-        let system = SystemSpec::uniform(4, model.total_bytes() / 4, model.total_bytes(), 1555.0, 16.0);
-        let a = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
-        let b = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
+        let system = SystemSpec::uniform(
+            4,
+            model.total_bytes() / 4,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let a = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
+        let b = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_cost_functions_can_disagree() {
         let (model, profile) = setup(14);
-        let system = SystemSpec::uniform(4, model.total_bytes() / 6, model.total_bytes(), 1555.0, 16.0);
-        let size = GreedySharder::new(SizeCost).shard(&model, &profile, &system).unwrap();
-        let lookup = GreedySharder::new(LookupCost).shard(&model, &profile, &system).unwrap();
+        let system = SystemSpec::uniform(
+            4,
+            model.total_bytes() / 6,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let size = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
+        let lookup = GreedySharder::new(LookupCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
         // They may or may not differ on tiny models, but strategies must be labelled.
         assert_eq!(size.strategy(), "size");
         assert_eq!(lookup.strategy(), "lookup");

@@ -80,11 +80,23 @@ impl ShardingPlan {
     /// # Panics
     ///
     /// Panics if the placements are not ordered by dense feature id.
-    pub fn new(strategy: impl Into<String>, num_gpus: usize, placements: Vec<TablePlacement>) -> Self {
+    pub fn new(
+        strategy: impl Into<String>,
+        num_gpus: usize,
+        placements: Vec<TablePlacement>,
+    ) -> Self {
         for (i, p) in placements.iter().enumerate() {
-            assert_eq!(p.table.index(), i, "placements must be ordered by dense feature id");
+            assert_eq!(
+                p.table.index(),
+                i,
+                "placements must be ordered by dense feature id"
+            );
         }
-        Self { strategy: strategy.into(), num_gpus, placements }
+        Self {
+            strategy: strategy.into(),
+            num_gpus,
+            placements,
+        }
     }
 
     /// Name of the strategy that produced the plan (e.g. `"size"`,
@@ -110,7 +122,11 @@ impl ShardingPlan {
 
     /// Tables assigned to the given GPU.
     pub fn tables_on_gpu(&self, gpu: usize) -> Vec<FeatureId> {
-        self.placements.iter().filter(|p| p.gpu == gpu).map(|p| p.table).collect()
+        self.placements
+            .iter()
+            .filter(|p| p.gpu == gpu)
+            .map(|p| p.table)
+            .collect()
     }
 
     /// HBM bytes used on each GPU.
@@ -157,7 +173,11 @@ impl ShardingPlan {
         if self.placements.is_empty() {
             return 0.0;
         }
-        self.placements.iter().map(|p| p.uvm_fraction()).sum::<f64>() / self.placements.len() as f64
+        self.placements
+            .iter()
+            .map(|p| p.uvm_fraction())
+            .sum::<f64>()
+            / self.placements.len() as f64
     }
 
     /// Validates the plan against a model and system: every table placed
@@ -313,7 +333,10 @@ mod tests {
         let model = ModelSpec::small(5, 2);
         let plan = full_hbm_plan(&model, 2);
         let tiny = SystemSpec::uniform(2, 16, 16, 100.0, 1.0);
-        assert!(matches!(plan.validate(&model, &tiny), Err(ShardingError::InvalidPlan(_))));
+        assert!(matches!(
+            plan.validate(&model, &tiny),
+            Err(ShardingError::InvalidPlan(_))
+        ));
     }
 
     #[test]
@@ -335,7 +358,13 @@ mod tests {
 
     #[test]
     fn uvm_fraction_math() {
-        let p = TablePlacement { table: FeatureId(0), gpu: 0, hbm_rows: 25, total_rows: 100, row_bytes: 8 };
+        let p = TablePlacement {
+            table: FeatureId(0),
+            gpu: 0,
+            hbm_rows: 25,
+            total_rows: 100,
+            row_bytes: 8,
+        };
         assert_eq!(p.uvm_rows(), 75);
         assert!((p.uvm_fraction() - 0.75).abs() < 1e-12);
         assert_eq!(p.hbm_bytes(), 200);
@@ -352,8 +381,20 @@ mod tests {
                 "x",
                 1,
                 vec![
-                    TablePlacement { table: f0.id, gpu: 0, hbm_rows: h0, total_rows: f0.hash_size, row_bytes: f0.row_bytes() },
-                    TablePlacement { table: f1.id, gpu: 0, hbm_rows: h1, total_rows: f1.hash_size, row_bytes: f1.row_bytes() },
+                    TablePlacement {
+                        table: f0.id,
+                        gpu: 0,
+                        hbm_rows: h0,
+                        total_rows: f0.hash_size,
+                        row_bytes: f0.row_bytes(),
+                    },
+                    TablePlacement {
+                        table: f1.id,
+                        gpu: 0,
+                        hbm_rows: h1,
+                        total_rows: f1.hash_size,
+                        row_bytes: f1.row_bytes(),
+                    },
                 ],
             )
         };
@@ -379,8 +420,20 @@ mod tests {
             "bad",
             1,
             vec![
-                TablePlacement { table: f1.id, gpu: 0, hbm_rows: 0, total_rows: f1.hash_size, row_bytes: f1.row_bytes() },
-                TablePlacement { table: f0.id, gpu: 0, hbm_rows: 0, total_rows: f0.hash_size, row_bytes: f0.row_bytes() },
+                TablePlacement {
+                    table: f1.id,
+                    gpu: 0,
+                    hbm_rows: 0,
+                    total_rows: f1.hash_size,
+                    row_bytes: f1.row_bytes(),
+                },
+                TablePlacement {
+                    table: f0.id,
+                    gpu: 0,
+                    hbm_rows: 0,
+                    total_rows: f0.hash_size,
+                    row_bytes: f0.row_bytes(),
+                },
             ],
         );
     }

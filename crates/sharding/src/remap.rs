@@ -48,14 +48,20 @@ impl RemapTable {
     /// 4-byte encoding has the same limit) or if a ranked row is out of range.
     pub fn build(placement: &TablePlacement, ranked_rows: &[u64]) -> Self {
         let total = placement.total_rows;
-        assert!(total <= i32::MAX as u64, "table too large for 32-bit remap encoding");
+        assert!(
+            total <= i32::MAX as u64,
+            "table too large for 32-bit remap encoding"
+        );
         let budget = placement.hbm_rows.min(total);
         let mut entries = vec![i32::MIN; total as usize];
 
         // Hot rows → HBM slots, in rank order.
         let mut hbm_rows: u64 = 0;
         for &row in ranked_rows.iter().take(budget as usize) {
-            assert!(row < total, "ranked row {row} out of range for table of {total} rows");
+            assert!(
+                row < total,
+                "ranked row {row} out of range for table of {total} rows"
+            );
             entries[row as usize] = hbm_rows as i32;
             hbm_rows += 1;
         }
@@ -121,9 +127,15 @@ impl RemapTable {
     pub fn lookup(&self, row: u64) -> RemappedRow {
         let e = self.entries[row as usize];
         if e >= 0 {
-            RemappedRow { tier: MemoryTier::Hbm, slot: e as u64 }
+            RemappedRow {
+                tier: MemoryTier::Hbm,
+                slot: e as u64,
+            }
         } else {
-            RemappedRow { tier: MemoryTier::Uvm, slot: (-(e as i64) - 1) as u64 }
+            RemappedRow {
+                tier: MemoryTier::Uvm,
+                slot: (-(e as i64) - 1) as u64,
+            }
         }
     }
 
@@ -144,7 +156,13 @@ mod tests {
     use recshard_data::FeatureId;
 
     fn placement(hbm_rows: u64, total_rows: u64) -> TablePlacement {
-        TablePlacement { table: FeatureId(0), gpu: 0, hbm_rows, total_rows, row_bytes: 64 }
+        TablePlacement {
+            table: FeatureId(0),
+            gpu: 0,
+            hbm_rows,
+            total_rows,
+            row_bytes: 64,
+        }
     }
 
     #[test]
@@ -153,9 +171,27 @@ mod tests {
         let remap = RemapTable::build(&placement(3, 10), &ranked);
         assert_eq!(remap.hbm_rows(), 3);
         assert_eq!(remap.uvm_rows(), 7);
-        assert_eq!(remap.lookup(7), RemappedRow { tier: MemoryTier::Hbm, slot: 0 });
-        assert_eq!(remap.lookup(3), RemappedRow { tier: MemoryTier::Hbm, slot: 1 });
-        assert_eq!(remap.lookup(9), RemappedRow { tier: MemoryTier::Hbm, slot: 2 });
+        assert_eq!(
+            remap.lookup(7),
+            RemappedRow {
+                tier: MemoryTier::Hbm,
+                slot: 0
+            }
+        );
+        assert_eq!(
+            remap.lookup(3),
+            RemappedRow {
+                tier: MemoryTier::Hbm,
+                slot: 1
+            }
+        );
+        assert_eq!(
+            remap.lookup(9),
+            RemappedRow {
+                tier: MemoryTier::Hbm,
+                slot: 2
+            }
+        );
         assert_eq!(remap.tier_of(1), MemoryTier::Uvm);
         assert_eq!(remap.tier_of(0), MemoryTier::Uvm);
     }

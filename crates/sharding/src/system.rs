@@ -122,7 +122,10 @@ mod tests {
         assert_eq!(s.num_gpus, 16);
         assert_eq!(s.total_hbm_capacity(), 16 * 24 * GIB);
         assert_eq!(s.total_dram_capacity(), 16 * 128 * GIB);
-        assert!(s.bandwidth_ratio() > 90.0, "HBM should be ~100x faster than UVM");
+        assert!(
+            s.bandwidth_ratio() > 90.0,
+            "HBM should be ~100x faster than UVM"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl AccessCdf {
             running += c;
             cumulative.push(running);
         }
-        Self { cumulative, total: freq.total_accesses() }
+        Self {
+            cumulative,
+            total: freq.total_accesses(),
+        }
     }
 
     /// Builds a CDF directly from descending per-row access counts.
@@ -52,12 +55,18 @@ impl AccessCdf {
             running += c;
             cumulative.push(running);
         }
-        Self { total: running, cumulative }
+        Self {
+            total: running,
+            cumulative,
+        }
     }
 
     /// A degenerate CDF for a table that was never accessed during profiling.
     pub fn empty() -> Self {
-        Self { cumulative: Vec::new(), total: 0 }
+        Self {
+            cumulative: Vec::new(),
+            total: 0,
+        }
     }
 
     /// Total number of profiled accesses.
@@ -117,7 +126,9 @@ impl AccessCdf {
         if self.cumulative.is_empty() {
             return 0.0;
         }
-        let rows = ((self.cumulative.len() as f64) * percent / 100.0).ceil().max(1.0) as u64;
+        let rows = ((self.cumulative.len() as f64) * percent / 100.0)
+            .ceil()
+            .max(1.0) as u64;
         self.access_fraction(rows)
     }
 
@@ -232,7 +243,10 @@ mod tests {
         let cdf = AccessCdf::from_frequency(&skewed_freq());
         for pct in [0.0, 0.1, 0.5, 0.84, 0.9, 0.99, 1.0] {
             let rows = cdf.rows_for_access_fraction(pct);
-            assert!(cdf.access_fraction(rows) + 1e-12 >= pct, "pct {pct} rows {rows}");
+            assert!(
+                cdf.access_fraction(rows) + 1e-12 >= pct,
+                "pct {pct} rows {rows}"
+            );
             if rows > 0 {
                 assert!(cdf.access_fraction(rows - 1) < pct + 1e-12);
             }

@@ -101,9 +101,16 @@ impl DatasetProfile {
     /// Panics if profiles are not ordered by dense feature id.
     pub fn new(profiles: Vec<FeatureProfile>, samples_profiled: u64) -> Self {
         for (i, p) in profiles.iter().enumerate() {
-            assert_eq!(p.id.index(), i, "profiles must be ordered by dense feature id");
+            assert_eq!(
+                p.id.index(),
+                i,
+                "profiles must be ordered by dense feature id"
+            );
         }
-        Self { profiles, samples_profiled }
+        Self {
+            profiles,
+            samples_profiled,
+        }
     }
 
     /// Per-feature profiles, ordered by feature id.

@@ -182,7 +182,13 @@ mod tests {
             // Pooling estimate within ~15% of the generating mean.
             if f.coverage > 0.2 {
                 let rel = (p.avg_pooling - f.avg_pooling()).abs() / f.avg_pooling();
-                assert!(rel < 0.2, "{}: pooling {} vs spec {}", f.id, p.avg_pooling, f.avg_pooling());
+                assert!(
+                    rel < 0.2,
+                    "{}: pooling {} vs spec {}",
+                    f.id,
+                    p.avg_pooling,
+                    f.avg_pooling()
+                );
             }
         }
     }
@@ -266,7 +272,9 @@ mod tests {
     fn mismatched_sample_rejected() {
         let model = ModelSpec::small(3, 1);
         let mut profiler = DatasetProfiler::new(&model);
-        let bad = SparseSample { values: vec![vec![1]] };
+        let bad = SparseSample {
+            values: vec![vec![1]],
+        };
         profiler.consume(&bad);
     }
 

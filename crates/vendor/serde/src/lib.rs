@@ -1,0 +1,12 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no crates.io access. The workspace only *derives*
+//! `Serialize`/`Deserialize` (marking types as serialization-ready); nothing
+//! serializes data yet, so the derives are no-ops from
+//! [`serde_derive`](../serde_derive/index.html) and no trait machinery is
+//! needed. Swapping in the real serde later requires no source changes in the
+//! dependent crates.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -30,7 +30,11 @@ fn main() {
     );
 
     // 3.2 + 3.3: pooling factors and coverage.
-    let max_pool = profile.profiles().iter().map(|p| p.avg_pooling).fold(0.0f64, f64::max);
+    let max_pool = profile
+        .profiles()
+        .iter()
+        .map(|p| p.avg_pooling)
+        .fold(0.0f64, f64::max);
     let min_cov = profile
         .profiles()
         .iter()

@@ -22,7 +22,13 @@ fn main() {
 
     // 2. A 4-GPU system whose HBM only fits ~25% of the model; the rest must
     //    live in host DRAM reached over UVM at ~1/100th the bandwidth.
-    let system = SystemSpec::uniform(4, model.total_bytes() / 16, model.total_bytes(), 1555.0, 16.0);
+    let system = SystemSpec::uniform(
+        4,
+        model.total_bytes() / 16,
+        model.total_bytes(),
+        1555.0,
+        16.0,
+    );
 
     // 3. Phase 1 — profile a sample of the training data.
     let profile = DatasetProfiler::profile_model(&model, 5_000, 7);

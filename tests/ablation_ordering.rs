@@ -44,6 +44,9 @@ fn full_formulation_minimises_uvm_accesses() {
     // Every variant keeps the UVM share far below the ~36% the whole-table
     // baselines exhibit on RM3-class pressure.
     for (variant, share) in &uvm_share {
-        assert!(*share < 0.25, "{variant} UVM share unexpectedly high: {share:.3}");
+        assert!(
+            *share < 0.25,
+            "{variant} UVM share unexpectedly high: {share:.3}"
+        );
     }
 }

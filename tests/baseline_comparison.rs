@@ -24,7 +24,11 @@ fn recshard_beats_baselines_under_capacity_pressure() {
     let cmp = compare_strategies(RmKind::Rm2, &cfg);
 
     let recshard = cmp.result(Strategy::RecShard).2.clone();
-    for baseline in [Strategy::SizeBased, Strategy::LookupBased, Strategy::SizeLookupBased] {
+    for baseline in [
+        Strategy::SizeBased,
+        Strategy::LookupBased,
+        Strategy::SizeLookupBased,
+    ] {
         let report = &cmp.result(baseline).2;
         assert!(
             recshard.iteration_time_ms() <= report.iteration_time_ms() * 1.05,
@@ -40,10 +44,14 @@ fn recshard_beats_baselines_under_capacity_pressure() {
         );
     }
     // And it should actually win by a clear margin against at least one baseline.
-    let worst = [Strategy::SizeBased, Strategy::LookupBased, Strategy::SizeLookupBased]
-        .iter()
-        .map(|&b| cmp.result(b).2.iteration_time_ms())
-        .fold(0.0f64, f64::max);
+    let worst = [
+        Strategy::SizeBased,
+        Strategy::LookupBased,
+        Strategy::SizeLookupBased,
+    ]
+    .iter()
+    .map(|&b| cmp.result(b).2.iteration_time_ms())
+    .fold(0.0f64, f64::max);
     assert!(
         worst / recshard.iteration_time_ms() > 1.5,
         "expected a clear speedup under capacity pressure, got {:.2}x",
@@ -83,7 +91,12 @@ fn all_strategies_fit_without_pressure() {
             // RecShard may still park never-accessed rows on UVM by design.
             assert!(report.uvm_access_fraction() < 0.05);
         } else {
-            assert_eq!(plan.total_uvm_rows(), 0, "{} should fit fully in HBM", strategy.label());
+            assert_eq!(
+                plan.total_uvm_rows(),
+                0,
+                "{} should fit fully in HBM",
+                strategy.label()
+            );
         }
     }
 }

@@ -1,0 +1,141 @@
+//! Integration tests of the discrete-event cluster simulator against the
+//! full pipeline: RecShard's placement must beat the size-based baseline on
+//! tail latency for a skewed Zipf workload under identical event streams.
+
+use recshard::{RecShard, RecShardConfig};
+use recshard_bench::{skewed_model, Strategy};
+use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator};
+use recshard_sharding::SystemSpec;
+use recshard_stats::DatasetProfiler;
+
+/// Skewed workload, tight HBM, identical arrival streams: RecShard's hot-row
+/// placement must win on p99 sojourn time against the size-based baseline.
+#[test]
+fn recshard_beats_size_based_on_p99_for_skewed_workload() {
+    let model = skewed_model(24);
+    let system = SystemSpec::uniform(
+        4,
+        model.total_bytes() / 12, // cluster HBM holds ~1/3 of the model
+        model.total_bytes(),
+        1555.0,
+        16.0,
+    );
+    let profile = DatasetProfiler::profile_model(&model, 3_000, 11);
+
+    // Calibrate arrivals so the RecShard plan has ~10% headroom.
+    let base = ClusterConfig {
+        batch_size: 32,
+        iterations: 1_500,
+        seed: 0x11,
+        scale_to_batch: Some(model.batch_size()),
+        arrival: ArrivalProcess::FixedRate { interval_ms: 1e9 },
+        ..ClusterConfig::default()
+    };
+    let recshard_plan = Strategy::RecShard.plan(&model, &profile, &system);
+    let calib = ClusterSimulator::new(
+        &model,
+        &recshard_plan,
+        &profile,
+        &system,
+        ClusterConfig {
+            iterations: 100,
+            ..base
+        },
+    )
+    .run();
+    let config = ClusterConfig {
+        arrival: ArrivalProcess::FixedRate {
+            interval_ms: calib.p50_ms * 1.1,
+        },
+        ..base
+    };
+
+    let recshard = ClusterSimulator::new(&model, &recshard_plan, &profile, &system, config).run();
+    let size_plan = Strategy::SizeBased.plan(&model, &profile, &system);
+    let size_based = ClusterSimulator::new(&model, &size_plan, &profile, &system, config).run();
+
+    assert_eq!(recshard.completed, 1_500);
+    assert_eq!(size_based.completed, 1_500);
+    assert!(
+        recshard.p99_ms < size_based.p99_ms,
+        "RecShard p99 {} ms must beat size-based p99 {} ms on a skewed workload",
+        recshard.p99_ms,
+        size_based.p99_ms
+    );
+    assert!(
+        recshard.throughput_iters_per_s >= size_based.throughput_iters_per_s,
+        "RecShard must sustain at least the baseline's throughput"
+    );
+}
+
+/// The `RecShard::simulate_cluster` pipeline entry point is deterministic and
+/// consistent with driving the simulator directly.
+#[test]
+fn pipeline_entry_point_matches_direct_simulator() {
+    let model = skewed_model(12);
+    let system = SystemSpec::uniform(
+        2,
+        model.total_bytes() / 6,
+        model.total_bytes(),
+        1555.0,
+        16.0,
+    );
+    let profile = DatasetProfiler::profile_model(&model, 1_500, 3);
+    let config = ClusterConfig {
+        iterations: 200,
+        batch_size: 32,
+        ..ClusterConfig::default()
+    };
+
+    let sharder = RecShard::new(RecShardConfig::default());
+    let via_pipeline = sharder
+        .simulate_cluster(&model, &profile, &system, config)
+        .unwrap();
+    let plan = sharder.plan(&model, &profile, &system).unwrap();
+    let direct = ClusterSimulator::new(&model, &plan, &profile, &system, config).run();
+    assert_eq!(via_pipeline, direct);
+}
+
+/// Re-sharding mid-run keeps the simulation consistent: every iteration
+/// completes and the summary stays deterministic.
+#[test]
+fn online_resharding_is_deterministic() {
+    use recshard_des::{DriftSchedule, ReshardPolicy};
+    let model = skewed_model(12);
+    let system = SystemSpec::uniform(
+        2,
+        model.total_bytes() / 6,
+        model.total_bytes(),
+        1555.0,
+        16.0,
+    );
+    let profile = DatasetProfiler::profile_model(&model, 1_500, 5);
+    let config = ClusterConfig {
+        iterations: 400,
+        batch_size: 32,
+        ..ClusterConfig::default()
+    };
+    let drift = DriftSchedule::paper_like(50);
+    let policy = ReshardPolicy {
+        check_every_iterations: 100,
+        imbalance_threshold: 1.05,
+        ..ReshardPolicy::default()
+    };
+    let sharder = RecShard::new(RecShardConfig::default());
+    let run = || {
+        sharder
+            .simulate_cluster_with_resharding(
+                &model,
+                &profile,
+                &system,
+                config,
+                drift.clone(),
+                policy,
+            )
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert_eq!(a.completed, 400);
+}

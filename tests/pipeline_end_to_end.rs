@@ -10,8 +10,13 @@ use recshard_sharding::{MemoryTier, SystemSpec};
 #[test]
 fn full_pipeline_respects_all_invariants() {
     let model = ModelSpec::small(16, 101).with_batch_size(512);
-    let system =
-        SystemSpec::uniform(4, model.total_bytes() / 10, model.total_bytes(), 1555.0, 16.0);
+    let system = SystemSpec::uniform(
+        4,
+        model.total_bytes() / 10,
+        model.total_bytes(),
+        1555.0,
+        16.0,
+    );
     let out = RecShard::new(RecShardConfig::default())
         .run(&model, &system, 3_000, 5)
         .expect("pipeline");
@@ -28,7 +33,10 @@ fn full_pipeline_respects_all_invariants() {
     for (t, prof) in out.profile.profiles().iter().enumerate() {
         let placement = &out.plan.placements()[t];
         if placement.hbm_rows > 0 && !prof.ranked_rows.is_empty() {
-            assert_eq!(out.remap_tables[t].tier_of(prof.ranked_rows[0]), MemoryTier::Hbm);
+            assert_eq!(
+                out.remap_tables[t].tier_of(prof.ranked_rows[0]),
+                MemoryTier::Hbm
+            );
         }
     }
 
@@ -38,11 +46,22 @@ fn full_pipeline_respects_all_invariants() {
         &out.plan,
         &out.profile,
         &system,
-        SimConfig { kernel_overhead_us_per_table: 0.0, scale_to_batch: None },
+        SimConfig {
+            kernel_overhead_us_per_table: 0.0,
+            scale_to_batch: None,
+        },
     );
     let report = sim.run(3, 256, 9);
-    let hbm: f64 = report.per_gpu_mean_counters().iter().map(|c| c.hbm_accesses as f64).sum();
-    let uvm: f64 = report.per_gpu_mean_counters().iter().map(|c| c.uvm_accesses as f64).sum();
+    let hbm: f64 = report
+        .per_gpu_mean_counters()
+        .iter()
+        .map(|c| c.hbm_accesses as f64)
+        .sum();
+    let uvm: f64 = report
+        .per_gpu_mean_counters()
+        .iter()
+        .map(|c| c.uvm_accesses as f64)
+        .sum();
     assert!(hbm > 0.0);
     assert!(
         uvm / (hbm + uvm) < 0.35,
@@ -62,7 +81,9 @@ fn pipeline_scales_with_gpu_count() {
             1555.0,
             16.0,
         );
-        let out = RecShard::default().run(&model, &system, 1_000, 3).expect("pipeline");
+        let out = RecShard::default()
+            .run(&model, &system, 1_000, 3)
+            .expect("pipeline");
         out.plan.validate(&model, &system).expect("plan valid");
         // Every GPU index used by the plan is within range.
         assert!(out.plan.placements().iter().all(|p| p.gpu < gpus));
@@ -72,12 +93,21 @@ fn pipeline_scales_with_gpu_count() {
 #[test]
 fn exact_milp_and_structured_solver_agree_on_tiny_instances() {
     let model = ModelSpec::small(3, 77).with_batch_size(64);
-    let system =
-        SystemSpec::uniform(2, model.total_bytes() / 4, model.total_bytes() * 2, 1555.0, 16.0);
+    let system = SystemSpec::uniform(
+        2,
+        model.total_bytes() / 4,
+        model.total_bytes() * 2,
+        1555.0,
+        16.0,
+    );
     let profile = recshard_stats::DatasetProfiler::profile_model(&model, 1_000, 1);
 
-    let exact_cfg = RecShardConfig::default().with_exact_milp().with_icdf_steps(5);
-    let exact = RecShard::new(exact_cfg).plan(&model, &profile, &system).expect("exact plan");
+    let exact_cfg = RecShardConfig::default()
+        .with_exact_milp()
+        .with_icdf_steps(5);
+    let exact = RecShard::new(exact_cfg)
+        .plan(&model, &profile, &system)
+        .expect("exact plan");
     let structured = RecShard::new(RecShardConfig::default().with_icdf_steps(5))
         .plan(&model, &profile, &system)
         .expect("structured plan");

@@ -11,7 +11,13 @@ use recshard_stats::DatasetProfiler;
 #[test]
 fn identical_seeds_reproduce_everything() {
     let model = ModelSpec::small(10, 5);
-    let system = SystemSpec::uniform(2, model.total_bytes() / 6, model.total_bytes(), 1555.0, 16.0);
+    let system = SystemSpec::uniform(
+        2,
+        model.total_bytes() / 6,
+        model.total_bytes(),
+        1555.0,
+        16.0,
+    );
 
     let run = || {
         let profile = DatasetProfiler::profile_model(&model, 1_500, 42);
@@ -49,10 +55,19 @@ fn different_seeds_change_data_but_not_invariants() {
     let b = SampleGenerator::new(&model, 2).batch(50);
     assert_ne!(a, b, "different seeds must give different data");
 
-    let system = SystemSpec::uniform(2, model.total_bytes() / 5, model.total_bytes(), 1555.0, 16.0);
+    let system = SystemSpec::uniform(
+        2,
+        model.total_bytes() / 5,
+        model.total_bytes(),
+        1555.0,
+        16.0,
+    );
     for seed in [1u64, 2, 3] {
         let profile = DatasetProfiler::profile_model(&model, 1_000, seed);
-        let plan = RecShard::default().plan(&model, &profile, &system).expect("plan");
-        plan.validate(&model, &system).expect("valid plan regardless of seed");
+        let plan = RecShard::default()
+            .plan(&model, &profile, &system)
+            .expect("plan");
+        plan.validate(&model, &system)
+            .expect("valid plan regardless of seed");
     }
 }
