@@ -130,7 +130,7 @@ impl IterationWorkload {
             .zip(profile.profiles())
             .map(|(placement, prof)| RemapTable::build(placement, &prof.ranked_rows))
             .collect();
-        self.gpu_of_table = plan.placements().iter().map(|p| p.gpu).collect();
+        self.gpu_of_table = plan.gpu_assignments();
         self.num_gpus = plan.num_gpus();
     }
 

@@ -245,7 +245,7 @@ impl EmbeddingOpSimulator {
         simulated_batch: usize,
         rng: &mut R,
     ) -> IterationReport {
-        let gpu_of: Vec<usize> = self.plan.placements().iter().map(|p| p.gpu).collect();
+        let gpu_of = self.plan.gpu_assignments();
         let counters = sample_batch_accesses(
             &self.model,
             &self.value_dists,

@@ -1,0 +1,54 @@
+//! Serving placements that need no profile.
+//!
+//! Inference routing reuses training [`ShardingPlan`]s — only the
+//! table→GPU assignment matters to the server (the HBM split is replaced by
+//! the cache). This module provides the classic profile-free baseline:
+//! hash-partitioning tables across shards, the default of most production
+//! parameter servers and the weakest placement the serving benchmark
+//! compares against.
+
+use recshard_data::ModelSpec;
+use recshard_sharding::{ShardingPlan, TablePlacement};
+
+/// Hash placement: table `t` is owned by shard `t % num_shards`, every row
+/// nominally in UVM (the serving cache decides HBM residency dynamically).
+///
+/// # Panics
+///
+/// Panics if `num_shards == 0`.
+pub fn hash_placement(model: &ModelSpec, num_shards: usize) -> ShardingPlan {
+    assert!(num_shards > 0, "need at least one shard");
+    let placements = model
+        .features()
+        .iter()
+        .map(|f| TablePlacement {
+            table: f.id,
+            gpu: f.id.index() % num_shards,
+            hbm_rows: 0,
+            total_rows: f.hash_size,
+            row_bytes: f.row_bytes(),
+        })
+        .collect();
+    ShardingPlan::new("hash", num_shards, placements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_placement_round_robins_tables() {
+        let model = ModelSpec::small(7, 2);
+        let plan = hash_placement(&model, 3);
+        assert_eq!(plan.strategy(), "hash");
+        assert_eq!(plan.num_gpus(), 3);
+        for (t, p) in plan.placements().iter().enumerate() {
+            assert_eq!(p.gpu, t % 3);
+            assert_eq!(p.hbm_rows, 0);
+        }
+        // Tables spread across all shards.
+        for g in 0..3 {
+            assert!(!plan.tables_on_gpu(g).is_empty());
+        }
+    }
+}

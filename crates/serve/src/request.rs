@@ -1,0 +1,227 @@
+//! The batched inference request front-end.
+//!
+//! Online queries look like training samples without labels: a batch of
+//! users/items, each contributing multi-hot sparse features. The stream is
+//! produced by the *same* coverage/pooling/Zipf machinery the rest of the
+//! reproduction uses ([`SampleGenerator`]), hashed by the same per-table
+//! hashers, and routed to GPU shards by the active sharding plan — so the
+//! serving layer sees exactly the access skew the profile measured.
+//!
+//! Generation is fully seeded: a `(model, seed, arrival, batch, count)`
+//! tuple always produces the identical stream, which is what makes serving
+//! runs fingerprint-stable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recshard_data::{ModelSpec, SampleGenerator};
+use serde::{Deserialize, Serialize};
+
+/// How inference requests arrive at the server (open loop).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// One request every `interval_us` microseconds, exactly.
+    FixedRate {
+        /// Gap between consecutive requests, in microseconds.
+        interval_us: f64,
+    },
+    /// Poisson arrivals with exponentially distributed gaps.
+    Poisson {
+        /// Mean gap between consecutive requests, in microseconds.
+        mean_interval_us: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Draws the gap to the next arrival, in nanoseconds.
+    pub fn next_gap_ns(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            ArrivalModel::FixedRate { interval_us } => (interval_us.max(0.0) * 1e3).round() as u64,
+            ArrivalModel::Poisson { mean_interval_us } => {
+                let u: f64 = rng.gen();
+                let gap_us = -mean_interval_us.max(0.0) * (1.0 - u).ln();
+                (gap_us * 1e3).round() as u64
+            }
+        }
+    }
+
+    /// The mean arrival interval in microseconds.
+    pub fn mean_interval_us(&self) -> f64 {
+        match *self {
+            ArrivalModel::FixedRate { interval_us } => interval_us,
+            ArrivalModel::Poisson { mean_interval_us } => mean_interval_us,
+        }
+    }
+}
+
+/// One shard's slice of one query: the hashed rows this GPU must gather.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTask {
+    /// Index of the query this task belongs to.
+    pub query: u32,
+    /// `(table, hashed row)` lookups, in draw order.
+    pub lookups: Vec<(u32, u64)>,
+}
+
+/// A fully materialised, seeded request stream, pre-partitioned per shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestStream {
+    /// Arrival time of each query, in nanoseconds (non-decreasing).
+    pub arrivals_ns: Vec<u64>,
+    /// Per shard, the tasks in query order.
+    pub shard_tasks: Vec<Vec<ShardTask>>,
+    /// Total row lookups across all queries and shards.
+    pub total_lookups: u64,
+}
+
+impl RequestStream {
+    /// Generates `queries` batched requests of `batch` samples each, routing
+    /// every table's lookups to its owning shard (`gpu_of`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_of` disagrees with the model's feature count, routes to
+    /// an out-of-range shard, or `batch == 0`.
+    pub fn generate(
+        model: &ModelSpec,
+        gpu_of: &[usize],
+        num_shards: usize,
+        queries: u32,
+        batch: usize,
+        arrival: ArrivalModel,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(gpu_of.len(), model.num_features(), "routing/model mismatch");
+        assert!(batch > 0, "a query must contain at least one sample");
+        assert!(
+            gpu_of.iter().all(|&g| g < num_shards),
+            "routing targets an out-of-range shard"
+        );
+        let hashers: Vec<_> = model.features().iter().map(|f| f.hasher()).collect();
+        let mut gen = SampleGenerator::new(model, seed);
+        let mut arrival_rng = StdRng::seed_from_u64(seed ^ 0x5E2E_A221_7A1C_0FFE);
+
+        let mut arrivals_ns = Vec::with_capacity(queries as usize);
+        let mut shard_tasks: Vec<Vec<ShardTask>> = vec![Vec::new(); num_shards];
+        let mut total_lookups = 0u64;
+        let mut now = 0u64;
+        let mut per_shard: Vec<Vec<(u32, u64)>> = vec![Vec::new(); num_shards];
+        for q in 0..queries {
+            arrivals_ns.push(now);
+            now += arrival.next_gap_ns(&mut arrival_rng);
+            for slot in &mut per_shard {
+                slot.clear();
+            }
+            for _ in 0..batch {
+                let sample = gen.sample();
+                for (t, values) in sample.values.iter().enumerate() {
+                    let shard = gpu_of[t];
+                    for &v in values {
+                        per_shard[shard].push((t as u32, hashers[t].hash(v)));
+                    }
+                }
+            }
+            for (shard, lookups) in per_shard.iter().enumerate() {
+                if !lookups.is_empty() {
+                    total_lookups += lookups.len() as u64;
+                    shard_tasks[shard].push(ShardTask {
+                        query: q,
+                        lookups: lookups.clone(),
+                    });
+                }
+            }
+        }
+        Self {
+            arrivals_ns,
+            shard_tasks,
+            total_lookups,
+        }
+    }
+
+    /// Number of queries in the stream.
+    pub fn queries(&self) -> u32 {
+        self.arrivals_ns.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(seed: u64) -> (ModelSpec, RequestStream) {
+        let model = ModelSpec::small(6, 4);
+        let gpu_of: Vec<usize> = (0..model.num_features()).map(|t| t % 2).collect();
+        let s = RequestStream::generate(
+            &model,
+            &gpu_of,
+            2,
+            50,
+            4,
+            ArrivalModel::FixedRate { interval_us: 10.0 },
+            seed,
+        );
+        (model, s)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (_, a) = stream(7);
+        let (_, b) = stream(7);
+        assert_eq!(a, b);
+        let (_, c) = stream(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lookups_are_hashed_and_routed_to_owners() {
+        let (model, s) = stream(3);
+        assert_eq!(s.shard_tasks.len(), 2);
+        let mut seen = 0u64;
+        for (shard, tasks) in s.shard_tasks.iter().enumerate() {
+            for task in tasks {
+                assert!(!task.lookups.is_empty());
+                for &(t, row) in &task.lookups {
+                    assert_eq!(t as usize % 2, shard, "lookup on the wrong shard");
+                    assert!(row < model.features()[t as usize].hash_size);
+                    seen += 1;
+                }
+            }
+        }
+        assert_eq!(seen, s.total_lookups);
+        assert!(seen > 0);
+    }
+
+    #[test]
+    fn fixed_rate_arrivals_are_evenly_spaced() {
+        let (_, s) = stream(1);
+        assert_eq!(s.queries(), 50);
+        for w in s.arrivals_ns.windows(2) {
+            assert_eq!(w[1] - w[0], 10_000);
+        }
+    }
+
+    #[test]
+    fn poisson_gaps_average_the_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = ArrivalModel::Poisson {
+            mean_interval_us: 40.0,
+        };
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| a.next_gap_ns(&mut rng)).sum();
+        let mean_us = total as f64 / n as f64 / 1e3;
+        assert!(
+            (mean_us - 40.0).abs() < 2.0,
+            "Poisson mean gap {mean_us} far from 40"
+        );
+        assert_eq!(a.mean_interval_us(), 40.0);
+    }
+
+    #[test]
+    fn tasks_are_in_query_order() {
+        let (_, s) = stream(11);
+        for tasks in &s.shard_tasks {
+            for w in tasks.windows(2) {
+                assert!(w[0].query < w[1].query);
+            }
+        }
+    }
+}

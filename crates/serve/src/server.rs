@@ -1,0 +1,503 @@
+//! The concurrent inference server.
+//!
+//! [`InferenceServer::run`] serves a seeded [`RequestStream`] with one
+//! worker thread per GPU shard. Each worker owns its shard's slice of every
+//! query (the tables the plan routed to that GPU), drives the shard's
+//! [`ShardedCache`], and advances a per-shard virtual clock: lookups served
+//! from HBM cost HBM bandwidth, misses cost UVM bandwidth plus a per-row
+//! fetch latency, and requests queue FIFO behind the shard when they arrive
+//! faster than it drains — the open-loop behaviour that makes a poorly
+//! balanced placement's p99 diverge.
+//!
+//! A query completes when its slowest shard finishes (fan-out/fan-in), so
+//! per-query latency is `max` over shard completions minus the arrival time.
+//! Measured latencies stream into a constant-space P² CDF
+//! ([`StreamingCdf`](recshard_stats::StreamingCdf)) exactly as the
+//! discrete-event trainer reports its sojourn times.
+//!
+//! Determinism: the stream is seeded, each worker processes its tasks in
+//! query order against state only it mutates, and the merge is a pure fold —
+//! so wall-clock scheduling of the threads cannot change any reported
+//! number, and reports carry a fingerprint to prove it.
+
+use crate::cache::{CacheConfig, CacheStats, Lookup, ShardedCache};
+use crate::policy::{PolicyKind, StatGuide, StatGuidedConfig};
+use crate::report::ServeReport;
+use crate::request::{ArrivalModel, RequestStream, ShardTask};
+use recshard_data::ModelSpec;
+use recshard_sharding::{ShardingPlan, SystemSpec};
+use recshard_stats::{DatasetProfile, StreamingCdf};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Measured queries.
+    pub queries: u32,
+    /// Warmup queries served first and excluded from every measured number
+    /// (gives recency/frequency policies a filled cache to be judged on).
+    pub warmup: u32,
+    /// Samples per query.
+    pub batch_size: usize,
+    /// Master seed; the request stream and arrivals derive from it.
+    pub seed: u64,
+    /// How queries arrive (open loop).
+    pub arrival: ArrivalModel,
+    /// The cache policy every shard runs.
+    pub policy: PolicyKind,
+    /// Tunables of the stat-guided policy (ignored by LRU/LFU).
+    pub stat_guided: StatGuidedConfig,
+    /// HBM cache bytes per shard; defaults to the system's per-GPU HBM.
+    pub capacity_per_shard: Option<u64>,
+    /// Lock stripes per shard cache.
+    pub stripes: usize,
+    /// Fixed overhead per distinct table touched by a query on a shard, in
+    /// nanoseconds (kernel launch + pooling, as in the training simulators).
+    pub table_overhead_ns: u64,
+    /// Extra latency per row fetched from UVM, in nanoseconds (page-fault /
+    /// random-access cost on top of the bandwidth term).
+    pub miss_latency_ns: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queries: 2_000,
+            warmup: 500,
+            batch_size: 8,
+            seed: 0x5E21,
+            arrival: ArrivalModel::FixedRate { interval_us: 200.0 },
+            policy: PolicyKind::Lru,
+            stat_guided: StatGuidedConfig::default(),
+            capacity_per_shard: None,
+            stripes: 8,
+            table_overhead_ns: 2_000,
+            miss_latency_ns: 1_000,
+        }
+    }
+}
+
+/// Per-worker results returned from a shard thread.
+struct ShardRun {
+    /// `(query, completion_ns)` in query order.
+    completions: Vec<(u32, u64)>,
+    /// Measured lookup outcomes.
+    hits: u64,
+    misses: u64,
+    bypasses: u64,
+    /// Total busy nanoseconds (warmup included).
+    busy_ns: u64,
+}
+
+/// The online embedding-lookup service.
+///
+/// ```
+/// use recshard_data::ModelSpec;
+/// use recshard_serve::{hash_placement, InferenceServer, PolicyKind, ServeConfig};
+/// use recshard_sharding::SystemSpec;
+/// use recshard_stats::DatasetProfiler;
+///
+/// let model = ModelSpec::small(6, 3);
+/// let profile = DatasetProfiler::profile_model(&model, 1_000, 7);
+/// let system = SystemSpec::uniform(2, 1 << 14, 1 << 30, 1555.0, 16.0);
+/// let plan = hash_placement(&model, 2);
+/// let config = ServeConfig {
+///     queries: 200,
+///     warmup: 50,
+///     policy: PolicyKind::Lru,
+///     ..ServeConfig::default()
+/// };
+/// let report = InferenceServer::run(&model, &plan, &profile, &system, config);
+/// assert_eq!(report.queries, 200);
+/// assert!(report.p50_ms <= report.p99_ms);
+/// ```
+#[derive(Debug)]
+pub struct InferenceServer;
+
+impl InferenceServer {
+    /// Serves the seeded stream and returns the measured report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan and system disagree on the shard count, or the
+    /// configuration requests zero queries or an empty batch.
+    pub fn run(
+        model: &ModelSpec,
+        plan: &ShardingPlan,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        config: ServeConfig,
+    ) -> ServeReport {
+        assert!(config.queries > 0, "must serve at least one query");
+        assert_eq!(
+            plan.num_gpus(),
+            system.num_gpus,
+            "plan/system shard count mismatch"
+        );
+        let shards = plan.num_gpus();
+        let gpu_of = plan.gpu_assignments();
+        let capacity = config
+            .capacity_per_shard
+            .unwrap_or(system.hbm_capacity_per_gpu);
+        let cache_config = CacheConfig::new(capacity).with_stripes(config.stripes);
+
+        let caches: Vec<ShardedCache> = (0..shards)
+            .map(|gpu| match config.policy {
+                PolicyKind::Lru | PolicyKind::Lfu => ShardedCache::new(config.policy, cache_config),
+                PolicyKind::StatGuided => ShardedCache::with_guide(
+                    StatGuide::for_gpu(gpu, &gpu_of, profile, capacity, &config.stat_guided),
+                    cache_config,
+                ),
+            })
+            .collect();
+
+        let total_queries = config.warmup + config.queries;
+        let stream = RequestStream::generate(
+            model,
+            &gpu_of,
+            shards,
+            total_queries,
+            config.batch_size,
+            config.arrival,
+            config.seed,
+        );
+        let row_bytes: Vec<u64> = model.features().iter().map(|f| f.row_bytes()).collect();
+
+        // One worker thread per GPU shard; each mutates only its own cache
+        // and clock, so the merged result is schedule-independent.
+        let mut runs: Vec<ShardRun> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = stream
+                .shard_tasks
+                .iter()
+                .zip(&caches)
+                .map(|(tasks, cache)| {
+                    let arrivals = &stream.arrivals_ns;
+                    let row_bytes = &row_bytes;
+                    scope.spawn(move || {
+                        Self::run_shard(tasks, cache, arrivals, row_bytes, system, &config)
+                    })
+                })
+                .collect();
+            for h in handles {
+                runs.push(h.join().expect("shard worker panicked"));
+            }
+        });
+
+        Self::merge(plan, &stream, &caches, runs, capacity, &config)
+    }
+
+    /// One shard's serving loop: FIFO virtual-time queueing over its tasks.
+    fn run_shard(
+        tasks: &[ShardTask],
+        cache: &ShardedCache,
+        arrivals_ns: &[u64],
+        row_bytes: &[u64],
+        system: &SystemSpec,
+        config: &ServeConfig,
+    ) -> ShardRun {
+        let hbm_ns_per_byte = 1e9 / (system.hbm_bandwidth_gbps * 1e9);
+        let uvm_ns_per_byte = 1e9 / (system.uvm_bandwidth_gbps * 1e9);
+        // Scratch for counting distinct tables without a per-task set.
+        let mut touched_epoch = vec![0u32; row_bytes.len()];
+        let mut epoch = 0u32;
+
+        let mut free_at = 0u64;
+        let mut completions = Vec::with_capacity(tasks.len());
+        let (mut hits, mut misses, mut bypasses, mut busy_ns) = (0u64, 0u64, 0u64, 0u64);
+        for task in tasks {
+            epoch += 1;
+            let mut hbm_bytes = 0u64;
+            let mut uvm_bytes = 0u64;
+            let mut uvm_rows = 0u64;
+            let mut tables = 0u64;
+            let (mut h, mut m, mut b) = (0u64, 0u64, 0u64);
+            for &(table, row) in &task.lookups {
+                let bytes = row_bytes[table as usize];
+                if touched_epoch[table as usize] != epoch {
+                    touched_epoch[table as usize] = epoch;
+                    tables += 1;
+                }
+                match cache.access(table, row, bytes) {
+                    Lookup::Hit => {
+                        hbm_bytes += bytes;
+                        h += 1;
+                    }
+                    Lookup::MissInserted => {
+                        uvm_bytes += bytes;
+                        uvm_rows += 1;
+                        m += 1;
+                    }
+                    Lookup::MissBypassed => {
+                        uvm_bytes += bytes;
+                        uvm_rows += 1;
+                        b += 1;
+                    }
+                }
+            }
+            let service_ns = (hbm_bytes as f64 * hbm_ns_per_byte
+                + uvm_bytes as f64 * uvm_ns_per_byte)
+                .round() as u64
+                + tables * config.table_overhead_ns
+                + uvm_rows * config.miss_latency_ns;
+            let start = free_at.max(arrivals_ns[task.query as usize]);
+            let done = start + service_ns;
+            free_at = done;
+            busy_ns += service_ns;
+            if task.query >= config.warmup {
+                hits += h;
+                misses += m;
+                bypasses += b;
+            }
+            completions.push((task.query, done));
+        }
+        ShardRun {
+            completions,
+            hits,
+            misses,
+            bypasses,
+            busy_ns,
+        }
+    }
+
+    /// Fan-in: per-query latency, CDFs, hit rates, fingerprint.
+    fn merge(
+        plan: &ShardingPlan,
+        stream: &RequestStream,
+        caches: &[ShardedCache],
+        runs: Vec<ShardRun>,
+        capacity: u64,
+        config: &ServeConfig,
+    ) -> ServeReport {
+        let total_queries = (config.warmup + config.queries) as usize;
+        let mut done_ns = vec![0u64; total_queries];
+        let mut makespan_ns = 0u64;
+        for run in &runs {
+            for &(q, done) in &run.completions {
+                let slot = &mut done_ns[q as usize];
+                *slot = (*slot).max(done);
+                makespan_ns = makespan_ns.max(done);
+            }
+        }
+
+        let mut cdf = StreamingCdf::latency_defaults();
+        let mut fingerprint: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut fold = |word: u64| {
+            fingerprint ^= word;
+            fingerprint = fingerprint.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for q in config.warmup as usize..total_queries {
+            let latency_ns = done_ns[q].saturating_sub(stream.arrivals_ns[q]);
+            cdf.push(latency_ns as f64 / 1e6);
+            fold(q as u64);
+            fold(latency_ns);
+        }
+        let (hits, misses, bypasses) = runs.iter().fold((0, 0, 0), |(h, m, b), r| {
+            (h + r.hits, m + r.misses, b + r.bypasses)
+        });
+        for word in [hits, misses, bypasses] {
+            fold(word);
+        }
+
+        let lookups = (hits + misses + bypasses).max(1);
+        let mut cache_stats = CacheStats::default();
+        for c in caches {
+            cache_stats.merge(&c.stats());
+        }
+        ServeReport {
+            placement: plan.strategy().to_string(),
+            policy: config.policy,
+            shards: plan.num_gpus(),
+            queries: config.queries,
+            warmup: config.warmup,
+            batch_size: config.batch_size,
+            capacity_per_shard_bytes: capacity,
+            hits,
+            misses,
+            bypasses,
+            hit_rate: hits as f64 / lookups as f64,
+            per_shard_hit_rate: runs
+                .iter()
+                .map(|r| {
+                    let total = r.hits + r.misses + r.bypasses;
+                    if total == 0 {
+                        0.0
+                    } else {
+                        r.hits as f64 / total as f64
+                    }
+                })
+                .collect(),
+            busy_fraction: runs
+                .iter()
+                .map(|r| r.busy_ns as f64 / makespan_ns.max(1) as f64)
+                .collect(),
+            p50_ms: cdf.p50(),
+            p95_ms: cdf.p95(),
+            p99_ms: cdf.p99(),
+            latency: cdf.summary(),
+            makespan_ms: makespan_ns as f64 / 1e6,
+            throughput_qps: if makespan_ns > 0 {
+                total_queries as f64 / (makespan_ns as f64 / 1e9)
+            } else {
+                0.0
+            },
+            cache: cache_stats,
+            fingerprint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::hash_placement;
+    use recshard_stats::DatasetProfiler;
+
+    fn setup() -> (ModelSpec, DatasetProfile, SystemSpec) {
+        let model = ModelSpec::small(8, 5);
+        let profile = DatasetProfiler::profile_model(&model, 2_000, 3);
+        // A cache that holds ~1/8 of the model per shard.
+        let system = SystemSpec::uniform(
+            2,
+            (model.total_bytes() / 16).max(1),
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        (model, profile, system)
+    }
+
+    fn config(policy: PolicyKind) -> ServeConfig {
+        ServeConfig {
+            queries: 400,
+            warmup: 100,
+            batch_size: 4,
+            policy,
+            arrival: ArrivalModel::FixedRate { interval_us: 50.0 },
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_reports() {
+        let (model, profile, system) = setup();
+        let plan = hash_placement(&model, 2);
+        let run = |seed| {
+            InferenceServer::run(
+                &model,
+                &plan,
+                &profile,
+                &system,
+                ServeConfig {
+                    seed,
+                    ..config(PolicyKind::StatGuided)
+                },
+            )
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a, b, "same seed must reproduce the identical report");
+        let c = run(10);
+        assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_counts_conserve() {
+        let (model, profile, system) = setup();
+        let plan = hash_placement(&model, 2);
+        for policy in PolicyKind::all() {
+            let r = InferenceServer::run(&model, &plan, &profile, &system, config(policy));
+            assert_eq!(r.queries, 400);
+            assert!(r.p50_ms <= r.p95_ms && r.p95_ms <= r.p99_ms, "{policy}");
+            assert!(r.latency.min <= r.p50_ms && r.p99_ms <= r.latency.max);
+            assert!(r.hits + r.misses + r.bypasses > 0);
+            assert!((0.0..=1.0).contains(&r.hit_rate));
+            assert!(r.throughput_qps > 0.0);
+            for &f in &r.busy_fraction {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn larger_cache_never_lowers_hit_rate() {
+        let (model, profile, system) = setup();
+        let plan = hash_placement(&model, 2);
+        let mut prev = -1.0f64;
+        for shift in [4u32, 2, 0] {
+            let r = InferenceServer::run(
+                &model,
+                &plan,
+                &profile,
+                &system,
+                ServeConfig {
+                    capacity_per_shard: Some((model.total_bytes() >> shift).max(64)),
+                    ..config(PolicyKind::Lru)
+                },
+            );
+            assert!(
+                r.hit_rate >= prev - 1e-9,
+                "hit rate fell from {prev} to {} as capacity grew",
+                r.hit_rate
+            );
+            prev = r.hit_rate;
+        }
+        // A cache holding the entire model misses each row at most once.
+        assert!(prev > 0.5);
+    }
+
+    #[test]
+    fn saturating_arrivals_inflate_tail_latency() {
+        let (model, profile, system) = setup();
+        let plan = hash_placement(&model, 2);
+        let slow = InferenceServer::run(
+            &model,
+            &plan,
+            &profile,
+            &system,
+            ServeConfig {
+                arrival: ArrivalModel::FixedRate {
+                    interval_us: 100_000.0,
+                },
+                ..config(PolicyKind::Lru)
+            },
+        );
+        let fast = InferenceServer::run(
+            &model,
+            &plan,
+            &profile,
+            &system,
+            ServeConfig {
+                arrival: ArrivalModel::FixedRate { interval_us: 0.1 },
+                ..config(PolicyKind::Lru)
+            },
+        );
+        assert!(
+            fast.p99_ms > slow.p99_ms * 5.0,
+            "saturation must inflate p99 ({} vs {})",
+            fast.p99_ms,
+            slow.p99_ms
+        );
+    }
+
+    #[test]
+    fn stat_guided_beats_lru_on_hit_rate_under_skew() {
+        let (model, profile, system) = setup();
+        let plan = hash_placement(&model, 2);
+        let lru = InferenceServer::run(&model, &plan, &profile, &system, config(PolicyKind::Lru));
+        let sg = InferenceServer::run(
+            &model,
+            &plan,
+            &profile,
+            &system,
+            config(PolicyKind::StatGuided),
+        );
+        assert!(
+            sg.hit_rate > lru.hit_rate,
+            "stat-guided {} must beat LRU {}",
+            sg.hit_rate,
+            lru.hit_rate
+        );
+        assert!(sg.cache.pinned_bytes > 0, "knee rows must be pinned");
+    }
+}

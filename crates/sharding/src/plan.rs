@@ -120,6 +120,13 @@ impl ShardingPlan {
         &self.placements[table.index()]
     }
 
+    /// Per-table owning GPU, indexed by dense feature id — the routing table
+    /// shared by the trace samplers, the cluster simulator and the online
+    /// serving layer.
+    pub fn gpu_assignments(&self) -> Vec<usize> {
+        self.placements.iter().map(|p| p.gpu).collect()
+    }
+
     /// Tables assigned to the given GPU.
     pub fn tables_on_gpu(&self, gpu: usize) -> Vec<FeatureId> {
         self.placements
@@ -318,6 +325,11 @@ mod tests {
         assert_eq!(hbm.len(), 2);
         assert_eq!(hbm.iter().sum::<u64>(), model.total_bytes());
         assert_eq!(plan.tables_on_gpu(0).len() + plan.tables_on_gpu(1).len(), 6);
+        let gpu_of = plan.gpu_assignments();
+        assert_eq!(gpu_of.len(), 6);
+        for (i, p) in plan.placements().iter().enumerate() {
+            assert_eq!(gpu_of[i], p.gpu);
+        }
     }
 
     #[test]

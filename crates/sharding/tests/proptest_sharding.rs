@@ -100,4 +100,124 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&plan.uvm_row_fraction()));
         prop_assert!((0.0..=1.0).contains(&plan.mean_table_uvm_fraction()));
     }
+
+    /// Every plan places every table exactly once: the per-GPU table lists
+    /// partition the model's feature set (no table lost, none duplicated),
+    /// and the routing vector agrees with the placements.
+    #[test]
+    fn plans_place_every_table_exactly_once(
+        n_tables in 2usize..14,
+        seed in 0u64..300,
+        gpus in 1usize..5,
+        hbm_denominator in 1u64..10,
+    ) {
+        let model = ModelSpec::small(n_tables, seed);
+        let profile = DatasetProfiler::profile_model(&model, 250, seed ^ 0xACE);
+        let system = SystemSpec::uniform(
+            gpus,
+            (model.total_bytes() / (gpus as u64 * hbm_denominator)).max(1),
+            model.total_bytes() * 2,
+            1555.0,
+            16.0,
+        );
+        let plan = GreedySharder::new(SizeLookupCost).shard(&model, &profile, &system).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for gpu in 0..gpus {
+            for table in plan.tables_on_gpu(gpu) {
+                prop_assert!(seen.insert(table), "table {table} placed twice");
+            }
+        }
+        prop_assert_eq!(seen.len(), model.num_features());
+        let routing = plan.gpu_assignments();
+        prop_assert_eq!(routing.len(), model.num_features());
+        for (t, p) in plan.placements().iter().enumerate() {
+            prop_assert_eq!(routing[t], p.gpu);
+            prop_assert!(p.gpu < gpus);
+        }
+    }
+
+    /// No successful plan ever exceeds a GPU's HBM (or DRAM) capacity, even
+    /// one byte, across random capacity pressure.
+    #[test]
+    fn per_gpu_capacity_is_never_exceeded(
+        n_tables in 2usize..12,
+        seed in 0u64..300,
+        gpus in 1usize..5,
+        hbm_denominator in 1u64..16,
+    ) {
+        let model = ModelSpec::small(n_tables, seed);
+        let profile = DatasetProfiler::profile_model(&model, 250, seed);
+        let system = SystemSpec::uniform(
+            gpus,
+            (model.total_bytes() / (gpus as u64 * hbm_denominator)).max(1),
+            model.total_bytes() * 2,
+            1555.0,
+            16.0,
+        );
+        for plan in [
+            GreedySharder::new(SizeCost).shard(&model, &profile, &system),
+            GreedySharder::new(LookupCost).shard(&model, &profile, &system),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            for &bytes in &plan.hbm_bytes_per_gpu() {
+                prop_assert!(bytes <= system.hbm_capacity_per_gpu);
+            }
+            for &bytes in &plan.uvm_bytes_per_gpu() {
+                prop_assert!(bytes <= system.dram_capacity_per_gpu);
+            }
+        }
+    }
+
+    /// Remap *transitions* are valid permutations: re-sharding a table from
+    /// plan A's split to plan B's split maps every row's old location to
+    /// exactly one new location — no row lost, none duplicated — because
+    /// each side's remap is a bijection row ↔ (tier, slot).
+    #[test]
+    fn remap_transitions_are_valid_permutations(
+        total_rows in 1u64..300,
+        budget_a in 0u64..300,
+        budget_b in 0u64..300,
+        ranking_seed in any::<u64>(),
+    ) {
+        let mut ranked: Vec<u64> = (0..total_rows).collect();
+        let mut state = ranking_seed | 1;
+        for i in (1..ranked.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ranked.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mk = |budget: u64| {
+            let placement = TablePlacement {
+                table: FeatureId(0),
+                gpu: 0,
+                hbm_rows: budget.min(total_rows),
+                total_rows,
+                row_bytes: 32,
+            };
+            RemapTable::build(&placement, &ranked)
+        };
+        let a = mk(budget_a);
+        let b = mk(budget_b);
+
+        // The transition map old-location -> new-location, keyed by row.
+        let mut old_locations = std::collections::HashSet::new();
+        let mut new_locations = std::collections::HashSet::new();
+        for row in 0..total_rows {
+            prop_assert!(old_locations.insert(a.lookup(row)), "row {row} duplicated in A");
+            prop_assert!(new_locations.insert(b.lookup(row)), "row {row} duplicated in B");
+        }
+        // Both sides cover every row exactly once with consistent tier sums:
+        // the composed transition is a permutation of the table's rows.
+        prop_assert_eq!(old_locations.len() as u64, total_rows);
+        prop_assert_eq!(new_locations.len() as u64, total_rows);
+        prop_assert_eq!(a.hbm_rows() + a.uvm_rows(), total_rows);
+        prop_assert_eq!(b.hbm_rows() + b.uvm_rows(), total_rows);
+        // Slots within each tier are dense prefixes, so equal-sized splits
+        // produce exactly the same location sets (a permutation in the
+        // strictest sense).
+        if a.hbm_rows() == b.hbm_rows() {
+            prop_assert_eq!(old_locations, new_locations);
+        }
+    }
 }

@@ -119,6 +119,35 @@ impl AccessCdf {
         Icdf { rows }
     }
 
+    /// Rank of the CDF's *knee*: the number of hottest rows at which the
+    /// curve's vertical distance above the uniform diagonal is maximal.
+    ///
+    /// Geometrically this is the point where adding more rows stops paying
+    /// more than proportionally — the natural boundary between the "head"
+    /// a serving cache should pin in HBM and the tail it should manage
+    /// dynamically. For a perfectly uniform table the distance is ~0
+    /// everywhere and the returned rank is the first index attaining the
+    /// (degenerate) maximum, so near-uniform tables pin almost nothing.
+    ///
+    /// Returns 0 for an empty CDF.
+    pub fn knee_rank(&self) -> u64 {
+        if self.cumulative.is_empty() || self.total == 0 {
+            return 0;
+        }
+        let n = self.cumulative.len() as f64;
+        let total = self.total as f64;
+        let mut best = 0usize;
+        let mut best_gap = f64::NEG_INFINITY;
+        for (i, &c) in self.cumulative.iter().enumerate() {
+            let gap = c as f64 / total - (i + 1) as f64 / n;
+            if gap > best_gap {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        (best + 1) as u64
+    }
+
     /// Gini-style skew indicator: fraction of accesses covered by the top 1%
     /// of *accessed* rows. Close to 0.01 for uniform access, close to 1.0 for
     /// extremely skewed tables.
@@ -274,6 +303,30 @@ mod tests {
         let half = cdf.rows_for_access_fraction(0.5);
         assert!((half as f64 - 500.0).abs() <= 1.0);
         assert!(cdf.top_percent_share(10.0) < 0.12);
+    }
+
+    #[test]
+    fn knee_separates_head_from_tail_on_skewed_cdf() {
+        let cdf = AccessCdf::from_frequency(&skewed_freq());
+        let knee = cdf.knee_rank();
+        // The single 1000-access row dominates; the knee must sit in the
+        // small head, and the head it selects must cover most accesses.
+        assert!((1..=10).contains(&knee), "knee {knee} outside the head");
+        assert!(cdf.access_fraction(knee) > 0.8);
+    }
+
+    #[test]
+    fn knee_is_small_for_uniform_cdf() {
+        let mut f = FrequencyMap::new();
+        for r in 0..500u64 {
+            f.record_n(r, 3);
+        }
+        let cdf = AccessCdf::from_frequency(&f);
+        let knee = cdf.knee_rank();
+        // Uniform access has no knee: the degenerate maximum lands on the
+        // first rank, so a stat-guided cache pins (almost) nothing.
+        assert!(knee <= 1, "uniform CDF produced knee {knee}");
+        assert_eq!(AccessCdf::empty().knee_rank(), 0);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Golden-fingerprint regression tests for the DES-backed experiment
+//! binaries.
+//!
+//! Every `RunSummary` carries an order-sensitive FNV-1a hash over the entire
+//! event log, so a seeded run is fingerprint-stable by construction. These
+//! tests commit the fingerprints of fixed, scaled-down versions of the
+//! `des_throughput` and `fig13_scaling` (DES backend) configurations and
+//! assert bit-for-bit stability: any change to the event engine, the
+//! workload sampler, the service-time model, the remap layer or the
+//! strategy solvers that alters a single event — its time, order or payload
+//! — fails here *loudly* instead of silently shifting published numbers.
+//!
+//! If a change is *intentional* (e.g. a new event type), re-derive the
+//! constants by running the failing test and copying the `actual` values
+//! from the assertion message.
+
+use recshard_bench::{skewed_model, ExperimentConfig, Strategy};
+use recshard_data::RmKind;
+use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator, RunSummary};
+use recshard_sharding::SystemSpec;
+use recshard_stats::DatasetProfiler;
+
+/// Committed fingerprints of the scaled-down `des_throughput` run, in
+/// `Strategy::all()` order (SB, LB, SBL, RecShard).
+const DES_THROUGHPUT_GOLDEN: [u64; 4] = [
+    0x7687_f9c4_1968_5c4b,
+    0x695b_6bc5_8bc2_deca,
+    0xe817_6674_2fd0_97a0,
+    0x8052_8467_260d_8801,
+];
+
+/// Committed fingerprint of the `fig13_scaling` DES backend (tiny config,
+/// RM1, RecShard plan).
+const FIG13_DES_GOLDEN: u64 = 0x088f_5c6b_4ad9_b186;
+
+/// The scaled-down `des_throughput` configuration: same skewed workload
+/// shape, same capacity pressure (HBM holds ~1/3 of the model), fixed
+/// arrival interval instead of the binary's calibration so the golden value
+/// does not depend on floating-point calibration output formatting.
+fn des_throughput_run(strategy: Strategy) -> RunSummary {
+    let model = skewed_model(24);
+    let system = SystemSpec::uniform(
+        4,
+        model.total_bytes() / 12,
+        model.total_bytes(),
+        1555.0,
+        16.0,
+    );
+    let profile = DatasetProfiler::profile_model(&model, 3_000, 0xA5F0);
+    let plan = strategy.plan(&model, &profile, &system);
+    let config = ClusterConfig {
+        batch_size: 32,
+        iterations: 400,
+        seed: 0xA5F0,
+        arrival: ArrivalProcess::FixedRate { interval_ms: 2.0 },
+        kernel_overhead_us_per_table: 8.0,
+        scale_to_batch: Some(model.batch_size()),
+        ..ClusterConfig::default()
+    };
+    ClusterSimulator::new(&model, &plan, &profile, &system, config).run()
+}
+
+#[test]
+fn des_throughput_fingerprints_are_bit_for_bit_stable() {
+    let summaries: Vec<_> = Strategy::all()
+        .iter()
+        .map(|&s| (s, des_throughput_run(s)))
+        .collect();
+    for ((strategy, summary), &golden) in summaries.iter().zip(&DES_THROUGHPUT_GOLDEN) {
+        assert_eq!(summary.completed, 400);
+        assert_eq!(
+            summary.fingerprint,
+            golden,
+            "{}: fingerprint drifted (actual {:#018x}, golden {:#018x}); all actuals: {:?}",
+            strategy.label(),
+            summary.fingerprint,
+            golden,
+            summaries
+                .iter()
+                .map(|(s, r)| format!("{} {:#018x}", s.label(), r.fingerprint))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn des_throughput_replay_reproduces_the_full_summary() {
+    let a = des_throughput_run(Strategy::RecShard);
+    let b = des_throughput_run(Strategy::RecShard);
+    assert_eq!(a, b, "identical seeds must reproduce identical summaries");
+}
+
+#[test]
+fn fig13_des_backend_fingerprint_is_bit_for_bit_stable() {
+    // Exactly the fig13_scaling DES-backend path at the tiny test scale:
+    // analytical arrival calibration at 3x headroom, 50 iterations.
+    let cfg = ExperimentConfig::tiny();
+    let setup = cfg.setup(RmKind::Rm1);
+    let plan = setup.plan(Strategy::RecShard);
+    let interval = setup.arrival_interval_ms(&plan, 3.0);
+    let summary = setup.des_summary(
+        &plan,
+        cfg.des_config(
+            50,
+            ArrivalProcess::FixedRate {
+                interval_ms: interval,
+            },
+        ),
+    );
+    assert_eq!(summary.completed, 50);
+    assert_eq!(
+        summary.fingerprint, FIG13_DES_GOLDEN,
+        "fig13 DES backend: fingerprint drifted (actual {:#018x}, golden {:#018x})",
+        summary.fingerprint, FIG13_DES_GOLDEN
+    );
+}
