@@ -1,0 +1,81 @@
+//! Solver scaling sweep: 100 → 5,000 tables × up to 16 GPUs under identical
+//! seeds, emitting the tracked perf-trajectory artifact `BENCH_solver.json`.
+//!
+//! Four placement paths run per sweep point and are scored with the same
+//! structured cost model (max per-GPU coverage-weighted milliseconds):
+//!
+//! * **greedy** — the size-lookup production baseline,
+//! * **structured** — the pre-refactor `StructuredSolver` (the reference the
+//!   1% acceptance bound is measured against),
+//! * **scalable** — the CDF-bucketed solver (the tentpole's fast path), and
+//! * **hierarchical** — the two-level tables→nodes→GPUs solver.
+//!
+//! The binary asserts, for every point: the scalable plan never costs more
+//! than greedy, and stays within 1% of the structured reference. Wall-clock
+//! times always print to stdout; they are only written into the JSON under
+//! `RECSHARD_BENCH_TIMING=1` (otherwise a `-1` sentinel keeps the artifact
+//! byte-identical across runs with the same seed — the determinism contract
+//! locked by `tests/golden_fingerprints.rs`).
+//!
+//! Environment overrides: `RECSHARD_SOLVER_MAX_TABLES`,
+//! `RECSHARD_SOLVER_MAX_GPUS`, `RECSHARD_SEED`, `RECSHARD_BENCH_TIMING`.
+
+use recshard_bench::solver_bench::{run_sweep, SolverBenchConfig};
+
+fn main() {
+    let cfg = SolverBenchConfig::from_env();
+    println!(
+        "# solver_scaling: tables {:?} x gpus {:?}, {} profile samples, seed {:#x}, timing {}",
+        cfg.table_counts,
+        cfg.gpu_counts,
+        cfg.profile_samples,
+        cfg.seed,
+        if cfg.include_timing {
+            "in JSON"
+        } else {
+            "stdout only"
+        }
+    );
+    let report = run_sweep(&cfg);
+
+    for p in &report.points {
+        assert!(
+            p.scalable_vs_greedy <= 1.0 + 1e-9,
+            "{} tables x {} GPUs: scalable plan cost must not exceed greedy (ratio {})",
+            p.tables,
+            p.gpus,
+            p.scalable_vs_greedy
+        );
+        assert!(
+            p.scalable_vs_structured <= 1.01 + 1e-9,
+            "{} tables x {} GPUs: scalable plan cost must stay within 1% of the \
+             pre-refactor structured solver (ratio {})",
+            p.tables,
+            p.gpus,
+            p.scalable_vs_structured
+        );
+    }
+
+    let json = report.to_json();
+    std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
+    println!();
+    println!(
+        "wrote BENCH_solver.json: {} sweep points, fingerprint {:#018x}",
+        report.points.len(),
+        report.fingerprint()
+    );
+    let worst = report
+        .points
+        .iter()
+        .map(|p| p.scalable_vs_structured)
+        .fold(0.0f64, f64::max);
+    let best_compression = report
+        .points
+        .iter()
+        .map(|p| p.compression_ratio)
+        .fold(0.0f64, f64::max);
+    println!(
+        "scalable vs structured worst-case cost ratio {worst:.4} (bound 1.01), \
+         best bucketing compression {best_compression:.2}x"
+    );
+}

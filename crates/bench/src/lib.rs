@@ -15,6 +15,8 @@
 //! wins, by what factor, how access counts shift between HBM and UVM — are
 //! reproduced by these harnesses.
 
+pub mod solver_bench;
+
 use recshard::{RecShard, RecShardConfig};
 use recshard_data::{FeatureClass, FeatureId, FeatureSpec, ModelSpec, PoolingSpec, RmKind};
 use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator, RunSummary};

@@ -96,6 +96,37 @@ impl TableCostModel {
         }
     }
 
+    /// The coverage-weighted per-iteration cost (milliseconds) of keeping the
+    /// `hbm_rows` hottest rows of `profile`'s table in HBM — the single-point
+    /// version of [`build`](Self::build), `O(1)` thanks to the indexed CDF.
+    /// The scalable solver uses this to score every *member* of a bucket
+    /// exactly while only the step menus are shared.
+    pub fn weighted_cost_at(
+        profile: &FeatureProfile,
+        system: &SystemSpec,
+        batch_size: u32,
+        config: &RecShardConfig,
+        hbm_rows: u64,
+    ) -> f64 {
+        let pooling = if config.use_pooling {
+            profile.avg_pooling.max(0.0)
+        } else {
+            1.0
+        };
+        let coverage = if config.use_coverage {
+            profile.coverage
+        } else {
+            1.0
+        };
+        // Expected bytes the table moves per iteration (before tier split).
+        let per_iter_bytes = pooling * profile.row_bytes() as f64 * batch_size as f64;
+        let hbm_gbps = system.hbm_bandwidth_gbps * 1e9;
+        let uvm_gbps = system.uvm_bandwidth_gbps * 1e9;
+        let pct = profile.cdf.access_fraction(hbm_rows.min(profile.hash_size));
+        let cost_seconds = per_iter_bytes * (pct / hbm_gbps + (1.0 - pct) / uvm_gbps);
+        coverage * cost_seconds * 1e3 // milliseconds
+    }
+
     /// The option at a given ICDF step.
     pub fn option(&self, step: usize) -> &SplitOption {
         &self.options[step]

@@ -245,13 +245,42 @@ impl MilpFormulation {
         profile: &DatasetProfile,
         system: &SystemSpec,
     ) -> Result<ShardingPlan, RecShardError> {
+        self.solve_with(
+            model,
+            profile,
+            system,
+            recshard_milp::SolveOptions::default(),
+        )
+    }
+
+    /// Like [`solve`](Self::solve) with explicit branch-and-bound options
+    /// (e.g. warm starts disabled, to cross-check the warm-start path).
+    ///
+    /// The decoded plan's GPU labels are *canonicalised* (GPUs renumbered in
+    /// order of first table ownership): the system is homogeneous, so the
+    /// MILP's optimum set is closed under GPU permutation, and canonical
+    /// labels make equally-optimal symmetric solutions decode to the
+    /// identical plan — warm- and cold-started solves compare equal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build errors and solver errors ([`RecShardError::Milp`]).
+    pub fn solve_with(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        options: recshard_milp::SolveOptions,
+    ) -> Result<ShardingPlan, RecShardError> {
         let (milp, vars, costs) = self.build(model, profile, system)?;
-        let solution = milp.solve()?;
+        let solution = milp.solve_with(options)?;
         let num_tables = model.num_features();
         let num_gpus = system.num_gpus;
         let steps = self.config.icdf_steps;
 
         let mut placements = Vec::with_capacity(num_tables);
+        let mut canonical_of = vec![usize::MAX; num_gpus];
+        let mut next_label = 0usize;
         for (j, spec) in model.features().iter().enumerate() {
             let gpu = (0..num_gpus)
                 .max_by(|&a, &b| {
@@ -261,6 +290,10 @@ impl MilpFormulation {
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .expect("at least one GPU");
+            if canonical_of[gpu] == usize::MAX {
+                canonical_of[gpu] = next_label;
+                next_label += 1;
+            }
             let step = (0..=steps)
                 .max_by(|&a, &b| {
                     solution
@@ -271,7 +304,7 @@ impl MilpFormulation {
                 .expect("at least one step");
             placements.push(TablePlacement {
                 table: spec.id,
-                gpu,
+                gpu: canonical_of[gpu],
                 hbm_rows: costs[j].options[step].hbm_rows,
                 total_rows: spec.hash_size,
                 row_bytes: spec.row_bytes(),

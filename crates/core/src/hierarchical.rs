@@ -1,0 +1,289 @@
+//! Hierarchical two-level sharding: tables → nodes → GPUs.
+//!
+//! Production clusters are grids of multi-GPU hosts, and the inter-node
+//! all-to-all is an order of magnitude slower than intra-node NVLink — so
+//! the placement problem decomposes naturally:
+//!
+//! 1. **Tables → nodes** — [`NodeAssigner`] balances the expected pooled
+//!    output bytes each node must ship through the inter-node fabric
+//!    (capacity-aware LPT over nodes), minimising the bottleneck node's
+//!    all-to-all send volume.
+//! 2. **Per-node placement → GPUs** — each node's tables become an
+//!    independent sub-problem over `gpus_per_node` GPUs, solved with the
+//!    exact warm-started MILP when the sub-problem is small enough and the
+//!    bucketed [`ScalableSolver`] otherwise.
+//!
+//! The merged [`ShardingPlan`] uses node-major global GPU ids and carries
+//! its [`NodeTopology`], which `recshard-des`, `recshard-serve` and
+//! `recshard-memsim` route through (inter-node exchange bandwidth, remote
+//! fan-in hops, inter-node byte estimates).
+
+use crate::bucketing::BucketingConfig;
+use crate::config::RecShardConfig;
+use crate::error::RecShardError;
+use crate::formulation::MilpFormulation;
+use crate::scalable::ScalableSolver;
+use recshard_data::{FeatureId, ModelSpec};
+use recshard_sharding::{
+    NodeAssigner, NodeAssignment, NodeTopology, ShardingPlan, SystemSpec, TablePlacement,
+};
+use recshard_stats::{DatasetProfile, FeatureProfile};
+
+/// Tuning of the hierarchical solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalConfig {
+    /// Per-node sub-problems with at most this many tables are solved with
+    /// the exact warm-started MILP; larger ones use the scalable solver.
+    pub per_node_exact_max_tables: usize,
+    /// ICDF step count used for the exact per-node MILP (kept small so the
+    /// formulation stays tractable).
+    pub per_node_exact_icdf_steps: usize,
+    /// Bucketing tuning of the scalable per-node path.
+    pub bucketing: BucketingConfig,
+}
+
+impl Default for HierarchicalConfig {
+    fn default() -> Self {
+        Self {
+            per_node_exact_max_tables: 4,
+            per_node_exact_icdf_steps: 6,
+            bucketing: BucketingConfig::default(),
+        }
+    }
+}
+
+/// The two-level solver.
+#[derive(Debug, Clone)]
+pub struct HierarchicalSolver {
+    config: RecShardConfig,
+    topology: NodeTopology,
+    hier: HierarchicalConfig,
+}
+
+impl HierarchicalSolver {
+    /// Creates a solver for the given node grid.
+    pub fn new(config: RecShardConfig, topology: NodeTopology) -> Self {
+        Self {
+            config,
+            topology,
+            hier: HierarchicalConfig::default(),
+        }
+    }
+
+    /// Overrides the hierarchical tuning.
+    pub fn with_hierarchical_config(mut self, hier: HierarchicalConfig) -> Self {
+        self.hier = hier;
+        self
+    }
+
+    /// The node grid this solver targets.
+    pub fn topology(&self) -> NodeTopology {
+        self.topology
+    }
+
+    /// Level 1 only: the table→node assignment this solver would use.
+    ///
+    /// # Errors
+    ///
+    /// See [`NodeAssigner::assign`].
+    pub fn assign_nodes(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+    ) -> Result<NodeAssignment, RecShardError> {
+        Ok(NodeAssigner.assign(model, profile, system, self.topology)?)
+    }
+
+    /// Solves the full two-level placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates node-assignment and per-node solver errors
+    /// (see [`RecShardError`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology and system disagree on the GPU count.
+    pub fn solve(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+    ) -> Result<ShardingPlan, RecShardError> {
+        assert_eq!(
+            self.topology.num_gpus(),
+            system.num_gpus,
+            "topology covers {} GPUs but the system has {}",
+            self.topology.num_gpus(),
+            system.num_gpus
+        );
+        self.config
+            .validate()
+            .map_err(RecShardError::InvalidConfig)?;
+        let assignment = self.assign_nodes(model, profile, system)?;
+
+        let node_system = SystemSpec::uniform(
+            self.topology.gpus_per_node,
+            system.hbm_capacity_per_gpu,
+            system.dram_capacity_per_gpu,
+            system.hbm_bandwidth_gbps,
+            system.uvm_bandwidth_gbps,
+        );
+
+        let mut placements: Vec<Option<TablePlacement>> = vec![None; model.num_features()];
+        for node in 0..self.topology.num_nodes {
+            let tables = assignment.tables_on_node(node);
+            if tables.is_empty() {
+                continue;
+            }
+            let (sub_model, sub_profile) = subproblem(model, profile, &tables);
+            let sub_plan = if tables.len() <= self.hier.per_node_exact_max_tables {
+                MilpFormulation::new(
+                    self.config
+                        .with_icdf_steps(self.hier.per_node_exact_icdf_steps),
+                )
+                .solve(&sub_model, &sub_profile, &node_system)?
+            } else {
+                ScalableSolver::with_bucketing(self.config, self.hier.bucketing).solve(
+                    &sub_model,
+                    &sub_profile,
+                    &node_system,
+                )?
+            };
+            let base_gpu = node * self.topology.gpus_per_node;
+            for (local, placement) in sub_plan.placements().iter().enumerate() {
+                let global_table = tables[local];
+                placements[global_table] = Some(TablePlacement {
+                    table: FeatureId(global_table as u32),
+                    gpu: base_gpu + placement.gpu,
+                    ..*placement
+                });
+            }
+        }
+
+        let placements = placements
+            .into_iter()
+            .map(|p| p.expect("every table placed by its node"))
+            .collect();
+        let plan = ShardingPlan::new("recshard-hierarchical", system.num_gpus, placements)
+            .with_topology(self.topology);
+        debug_assert!(plan.validate(model, system).is_ok());
+        Ok(plan)
+    }
+}
+
+/// Builds the reindexed sub-model/sub-profile of one node's tables
+/// (`tables` in ascending dense order).
+fn subproblem(
+    model: &ModelSpec,
+    profile: &DatasetProfile,
+    tables: &[usize],
+) -> (ModelSpec, DatasetProfile) {
+    let features = tables
+        .iter()
+        .enumerate()
+        .map(|(local, &t)| {
+            let mut spec = model.features()[t].clone();
+            spec.id = FeatureId(local as u32);
+            spec
+        })
+        .collect();
+    let profiles: Vec<FeatureProfile> = tables
+        .iter()
+        .enumerate()
+        .map(|(local, &t)| {
+            let mut p = profile.profiles()[t].clone();
+            p.id = FeatureId(local as u32);
+            p
+        })
+        .collect();
+    let sub_model = ModelSpec::new(
+        format!("{}-node-sub", model.name()),
+        recshard_data::RmKind::Custom,
+        features,
+        model.batch_size(),
+    );
+    let sub_profile = DatasetProfile::new(profiles, profile.samples_profiled());
+    (sub_model, sub_profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recshard_stats::DatasetProfiler;
+
+    fn setup(n: usize, seed: u64) -> (ModelSpec, DatasetProfile) {
+        let model = ModelSpec::small(n, seed);
+        let profile = DatasetProfiler::profile_model(&model, 1_500, seed + 1);
+        (model, profile)
+    }
+
+    #[test]
+    fn two_level_plan_is_valid_and_node_annotated() {
+        let (model, profile) = setup(12, 5);
+        let topology = NodeTopology::new(2, 2);
+        let system = SystemSpec::uniform(
+            4,
+            model.total_bytes() / 8,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let plan = HierarchicalSolver::new(RecShardConfig::default(), topology)
+            .solve(&model, &profile, &system)
+            .unwrap();
+        plan.validate(&model, &system).unwrap();
+        assert_eq!(plan.topology(), Some(topology));
+        assert_eq!(plan.strategy(), "recshard-hierarchical");
+        // Node assignments derived from GPU ids must be in range.
+        for &node in &plan.node_assignments() {
+            assert!(node < 2);
+        }
+        // Flattening drops the annotation but keeps a valid plan.
+        let flat = plan.flatten();
+        assert_eq!(flat.topology(), None);
+        flat.validate(&model, &system).unwrap();
+    }
+
+    #[test]
+    fn single_node_topology_matches_flat_solving() {
+        let (model, profile) = setup(10, 9);
+        let system = SystemSpec::uniform(
+            2,
+            model.total_bytes() / 6,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let hier = HierarchicalSolver::new(RecShardConfig::default(), NodeTopology::single(2))
+            .solve(&model, &profile, &system)
+            .unwrap();
+        let flat = ScalableSolver::new(RecShardConfig::default())
+            .solve(&model, &profile, &system)
+            .unwrap();
+        // One node means level 1 is trivial: the per-node solve sees the whole
+        // problem, so the placements agree exactly.
+        assert_eq!(hier.placements(), flat.placements());
+    }
+
+    #[test]
+    fn tiny_nodes_use_the_exact_milp() {
+        let (model, profile) = setup(6, 13);
+        let topology = NodeTopology::new(2, 2);
+        let system = SystemSpec::uniform(
+            4,
+            model.total_bytes() / 6,
+            model.total_bytes() * 2,
+            1555.0,
+            16.0,
+        );
+        // 6 tables over 2 nodes → ≤4 tables per node (within the exact cap
+        // when balanced; either way the plan must be valid and annotated).
+        let plan = HierarchicalSolver::new(RecShardConfig::default(), topology)
+            .solve(&model, &profile, &system)
+            .unwrap();
+        plan.validate(&model, &system).unwrap();
+        assert_eq!(plan.topology(), Some(topology));
+    }
+}

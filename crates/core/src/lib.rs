@@ -53,19 +53,25 @@
 
 pub mod ablation;
 pub mod analysis;
+pub mod bucketing;
 pub mod config;
 pub mod cost;
 pub mod error;
 pub mod formulation;
 pub mod hash_analysis;
+pub mod hierarchical;
 pub mod pipeline;
+pub mod scalable;
 pub mod solver;
 
 pub use ablation::AblationVariant;
 pub use analysis::{PlanComparison, SpeedupReport};
+pub use bucketing::{BucketingConfig, TableBucket, TableBuckets};
 pub use config::{RecShardConfig, SolverKind};
 pub use error::RecShardError;
 pub use formulation::MilpFormulation;
 pub use hash_analysis::{hash_size_sweep, HashSweepPoint};
+pub use hierarchical::{HierarchicalConfig, HierarchicalSolver};
 pub use pipeline::{RecShard, RecShardOutput};
+pub use scalable::{ScalableSolveReport, ScalableSolver};
 pub use solver::StructuredSolver;

@@ -334,6 +334,34 @@ impl StructuredSolver {
         Ok(plan)
     }
 
+    /// The exact per-GPU cost vector of a plan: every table charged its
+    /// coverage-weighted analytical cost at the *actual* placed row count
+    /// ([`TableCostModel::weighted_cost_at`]), with no rounding onto the
+    /// table's ICDF grid. For plans whose splits sit on their own grid (the
+    /// structured solver's) this agrees with [`gpu_costs`](Self::gpu_costs);
+    /// for bucketed plans, whose row counts come from a representative's
+    /// grid, it is the artifact-free objective.
+    pub fn gpu_costs_exact(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        plan: &ShardingPlan,
+    ) -> Vec<f64> {
+        let batch = model.batch_size();
+        let mut gpu_cost = vec![0.0f64; plan.num_gpus()];
+        for (t, p) in plan.placements().iter().enumerate() {
+            gpu_cost[p.gpu] += TableCostModel::weighted_cost_at(
+                &profile.profiles()[t],
+                system,
+                batch,
+                &self.config,
+                p.hbm_rows,
+            );
+        }
+        gpu_cost
+    }
+
     /// The estimated per-GPU cost vector of a plan under this solver's cost
     /// model (useful for reporting the objective value).
     pub fn gpu_costs(

@@ -60,6 +60,11 @@ pub struct ClusterConfig {
     pub alltoall_latency_us: f64,
     /// Per-GPU all-to-all bandwidth in GB/s (NVLink-class).
     pub alltoall_bandwidth_gbps: f64,
+    /// Per-GPU bandwidth of the inter-node fabric in GB/s (RoCE/IB-class;
+    /// only exercised when the plan carries a multi-node
+    /// [`NodeTopology`](recshard_sharding::NodeTopology) — flat plans see
+    /// exactly the single-fabric exchange).
+    pub internode_bandwidth_gbps: f64,
 }
 
 impl Default for ClusterConfig {
@@ -73,6 +78,7 @@ impl Default for ClusterConfig {
             scale_to_batch: None,
             alltoall_latency_us: 20.0,
             alltoall_bandwidth_gbps: 150.0,
+            internode_bandwidth_gbps: 25.0,
         }
     }
 }
@@ -241,7 +247,7 @@ impl ClusterSimulator {
             in_flight: HashMap::new(),
             sojourn_cdf: StreamingCdf::latency_defaults(),
             completed: 0,
-            exchange_ns: Self::exchange_ns_for(model, system, &config),
+            exchange_ns: Self::exchange_ns_for(model, plan, system, &config),
             drift: None,
             current_month: 0,
             controller: None,
@@ -263,8 +269,16 @@ impl ClusterSimulator {
     }
 
     /// All-to-all time: every GPU exchanges its share of the batch's pooled
-    /// embedding vectors with every other GPU.
-    fn exchange_ns_for(model: &ModelSpec, system: &SystemSpec, config: &ClusterConfig) -> u64 {
+    /// embedding vectors with every other GPU. Two-level plans split the
+    /// exchange across fabrics: the share of a GPU's peers living on other
+    /// nodes ([`NodeTopology::remote_peer_fraction`](recshard_sharding::NodeTopology::remote_peer_fraction))
+    /// crosses the slower inter-node link.
+    fn exchange_ns_for(
+        model: &ModelSpec,
+        plan: &ShardingPlan,
+        system: &SystemSpec,
+        config: &ClusterConfig,
+    ) -> u64 {
         let g = system.num_gpus as f64;
         let effective_batch = config
             .scale_to_batch
@@ -274,7 +288,11 @@ impl ClusterSimulator {
         // Each GPU sends (G-1)/G of its pooled outputs and the exchange is
         // bandwidth-bound on the per-GPU link.
         let per_gpu_bytes = effective_batch * pooled_bytes_per_sample as f64 * (g - 1.0) / (g * g);
-        let transfer_s = per_gpu_bytes / (config.alltoall_bandwidth_gbps * 1e9);
+        let remote_fraction = plan.effective_topology().remote_peer_fraction();
+        let local_bytes = per_gpu_bytes * (1.0 - remote_fraction);
+        let remote_bytes = per_gpu_bytes * remote_fraction;
+        let transfer_s = local_bytes / (config.alltoall_bandwidth_gbps * 1e9)
+            + remote_bytes / (config.internode_bandwidth_gbps * 1e9);
         (config.alltoall_latency_us * 1e3 + transfer_s * 1e9).round() as u64
     }
 
@@ -602,6 +620,31 @@ mod tests {
         );
         assert!(slow.uvm_busy_share.iter().any(|&x| x > 0.9));
         assert!(fast.uvm_busy_share.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn multi_node_topology_slows_the_exchange() {
+        use recshard_sharding::NodeTopology;
+        let (model, profile, system, plan) = setup(4);
+        let cfg = ClusterConfig {
+            arrival: ArrivalProcess::FixedRate { interval_ms: 20.0 },
+            ..config(100)
+        };
+        let flat = ClusterSimulator::new(&model, &plan, &profile, &system, cfg).run();
+        let two_level = plan.clone().with_topology(NodeTopology::new(2, 2));
+        let hier = ClusterSimulator::new(&model, &two_level, &profile, &system, cfg).run();
+        // Half the exchange traffic now crosses the 6x slower inter-node
+        // fabric, so unloaded sojourn times must strictly grow.
+        assert!(
+            hier.p50_ms > flat.p50_ms,
+            "inter-node exchange must cost time ({} vs {})",
+            hier.p50_ms,
+            flat.p50_ms
+        );
+        // A single-node topology annotation is exactly the flat exchange.
+        let single = plan.clone().with_topology(NodeTopology::single(4));
+        let same = ClusterSimulator::new(&model, &single, &profile, &system, cfg).run();
+        assert_eq!(same.fingerprint, flat.fingerprint);
     }
 
     #[test]

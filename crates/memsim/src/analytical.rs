@@ -84,6 +84,48 @@ impl<'a> AnalyticalEstimator<'a> {
             .fold(0.0, f64::max)
     }
 
+    /// Expected pooled-embedding bytes per iteration that must cross the
+    /// inter-node fabric under a two-level plan: each table's pooled output
+    /// (one vector per *covered* sample) is produced on its owning node and
+    /// consumed by every GPU, so the share of consumers on other nodes
+    /// crosses the slow link. Zero for flat single-node plans — the quantity
+    /// the hierarchical table→node assignment balances.
+    pub fn internode_bytes_per_iteration(&self, plan: &ShardingPlan) -> f64 {
+        let topology = plan.effective_topology();
+        if topology.num_nodes <= 1 {
+            return 0.0;
+        }
+        let g = topology.num_gpus() as f64;
+        let remote_consumers = (topology.num_gpus() - topology.gpus_per_node) as f64 / g;
+        plan.placements()
+            .iter()
+            .enumerate()
+            .map(|(t, _)| {
+                let prof = &self.profile.profiles()[t];
+                self.batch_size as f64 * prof.coverage * prof.row_bytes() as f64
+            })
+            .sum::<f64>()
+            * remote_consumers
+    }
+
+    /// Per-node expected inter-node *send* bytes per iteration (the
+    /// bottleneck entry is what the node-assignment stage minimises).
+    pub fn internode_send_bytes_per_node(&self, plan: &ShardingPlan) -> Vec<f64> {
+        let topology = plan.effective_topology();
+        let g = topology.num_gpus() as f64;
+        let remote_consumers = (topology.num_gpus() - topology.gpus_per_node) as f64 / g;
+        let mut per_node = vec![0.0f64; topology.num_nodes];
+        if topology.num_nodes <= 1 {
+            return per_node;
+        }
+        for (t, p) in plan.placements().iter().enumerate() {
+            let prof = &self.profile.profiles()[t];
+            per_node[topology.node_of_gpu(p.gpu)] +=
+                self.batch_size as f64 * prof.coverage * prof.row_bytes() as f64 * remote_consumers;
+        }
+        per_node
+    }
+
     /// The estimated fraction of all accesses served from UVM.
     pub fn uvm_access_fraction(&self, plan: &ShardingPlan) -> f64 {
         let est = self.estimate(plan);
@@ -162,6 +204,31 @@ mod tests {
         assert!(
             (analytic_uvm - simulated_uvm).abs() < 0.1,
             "analytic {analytic_uvm} vs simulated {simulated_uvm}"
+        );
+    }
+
+    #[test]
+    fn internode_bytes_zero_for_flat_and_positive_for_two_level() {
+        use recshard_sharding::NodeTopology;
+        let (model, profile, system) = setup();
+        let plan = GreedySharder::new(SizeCost)
+            .shard(&model, &profile, &system)
+            .unwrap();
+        let est = AnalyticalEstimator::new(&profile, &system, 256);
+        assert_eq!(est.internode_bytes_per_iteration(&plan), 0.0);
+        assert!(est
+            .internode_send_bytes_per_node(&plan)
+            .iter()
+            .all(|&b| b == 0.0));
+
+        let two_level = plan.with_topology(NodeTopology::new(2, 1));
+        let total = est.internode_bytes_per_iteration(&two_level);
+        assert!(total > 0.0);
+        let per_node = est.internode_send_bytes_per_node(&two_level);
+        assert_eq!(per_node.len(), 2);
+        assert!(
+            (per_node.iter().sum::<f64>() - total).abs() <= total * 1e-12 + 1e-9,
+            "per-node sends must sum to the total"
         );
     }
 

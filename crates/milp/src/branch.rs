@@ -1,15 +1,41 @@
 //! Best-first branch and bound over LP relaxations.
+//!
+//! Each node's relaxation is solved with the sparse bounded-variable dual
+//! simplex ([`crate::sparse`]) warm-started from its parent's optimal basis —
+//! a child differs from its parent in exactly one variable bound, so the
+//! parent basis stays dual feasible and re-optimisation takes a handful of
+//! pivots. Models outside the sparse solver's dual-feasible-start scope (a
+//! variable whose cost sign demands an infinite bound) fall back to the dense
+//! Big-M tableau per node, preserving the old behaviour.
 
 use crate::error::MilpError;
 use crate::model::{Model, Sense, VarKind};
 use crate::simplex::{LpProblem, EPS};
 use crate::solution::{Solution, SolveStats, Status};
+use crate::sparse::{BasisSnapshot, SparseLp};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// Integrality tolerance: values within this distance of an integer are
 /// treated as integral.
 const INT_TOL: f64 = 1e-6;
+
+/// Knobs of the branch-and-bound driver (see [`Model::solve_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Warm-start each node's dual simplex from the parent's optimal basis.
+    /// Disabling re-solves every node from the all-slack basis; the explored
+    /// tree and the returned solution are the same, only slower — the knob
+    /// exists so tests can assert exactly that equivalence.
+    pub warm_start: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self { warm_start: true }
+    }
+}
 
 struct Node {
     /// LP relaxation bound of this node in *minimization* form (lower bound on
@@ -17,6 +43,8 @@ struct Node {
     bound: f64,
     lower: Vec<f64>,
     upper: Vec<f64>,
+    /// Parent's optimal basis for the dual-simplex warm start.
+    basis: Option<Rc<BasisSnapshot>>,
 }
 
 impl PartialEq for Node {
@@ -41,15 +69,80 @@ impl Ord for Node {
     }
 }
 
+/// One node's relaxation result, backend-independent.
+struct NodeLp {
+    objective: f64,
+    values: Vec<f64>,
+    pivots: usize,
+    basis: Option<Rc<BasisSnapshot>>,
+}
+
 /// Branch-and-bound driver for a [`Model`].
 pub struct BranchAndBound<'a> {
     model: &'a Model,
+    sparse: Option<SparseLp>,
+    options: SolveOptions,
 }
 
 impl<'a> BranchAndBound<'a> {
-    /// Creates a driver for the model.
+    /// Creates a driver for the model with default options.
     pub fn new(model: &'a Model) -> Self {
-        Self { model }
+        Self::with_options(model, SolveOptions::default())
+    }
+
+    /// Creates a driver with explicit options.
+    pub fn with_options(model: &'a Model, options: SolveOptions) -> Self {
+        Self {
+            model,
+            sparse: SparseLp::try_new(model),
+            options,
+        }
+    }
+
+    /// Solves one node's LP relaxation: sparse dual simplex (warm-started
+    /// when a parent basis is available and warm starts are enabled), dense
+    /// Big-M tableau otherwise or on numerical failure.
+    fn solve_node(
+        &self,
+        lower: &[f64],
+        upper: &[f64],
+        parent: Option<&Rc<BasisSnapshot>>,
+    ) -> Result<NodeLp, MilpError> {
+        if let Some(sparse) = &self.sparse {
+            let warm = parent.filter(|_| self.options.warm_start);
+            let attempt = match warm {
+                Some(basis) => sparse.solve_warm(lower, upper, basis),
+                None => sparse.solve_cold(lower, upper),
+            };
+            let attempt = match attempt {
+                // A numerically failed warm start retries cold before giving
+                // up on the sparse path entirely.
+                Err(MilpError::InvalidModel(_)) if warm.is_some() => {
+                    sparse.solve_cold(lower, upper)
+                }
+                other => other,
+            };
+            match attempt {
+                Ok(sol) => {
+                    return Ok(NodeLp {
+                        objective: sol.objective,
+                        values: sol.values,
+                        pivots: sol.pivots,
+                        basis: Some(sol.basis),
+                    })
+                }
+                Err(MilpError::InvalidModel(_)) => {} // fall through to dense
+                Err(e) => return Err(e),
+            }
+        }
+        let lp = LpProblem::from_model(self.model, lower.to_vec(), upper.to_vec());
+        let sol = lp.solve()?;
+        Ok(NodeLp {
+            objective: sol.objective,
+            values: sol.values,
+            pivots: sol.pivots,
+            basis: None,
+        })
     }
 
     /// Solves the MILP.
@@ -78,8 +171,7 @@ impl<'a> BranchAndBound<'a> {
         let mut stats = SolveStats::default();
 
         // Solve the root relaxation first so pure LPs exit immediately.
-        let root_lp = LpProblem::from_model(model, root_lower.clone(), root_upper.clone());
-        let root_sol = root_lp.solve()?;
+        let root_sol = self.solve_node(&root_lower, &root_upper, None)?;
         stats.simplex_pivots += root_sol.pivots;
         stats.nodes_explored += 1;
 
@@ -94,6 +186,7 @@ impl<'a> BranchAndBound<'a> {
             bound: minimize_sign * root_sol.objective,
             lower: root_lower,
             upper: root_upper,
+            basis: root_sol.basis,
         });
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None; // minimization objective, values
@@ -117,8 +210,7 @@ impl<'a> BranchAndBound<'a> {
                     continue;
                 }
             }
-            let lp = LpProblem::from_model(model, node.lower.clone(), node.upper.clone());
-            let lp_sol = match lp.solve() {
+            let lp_sol = match self.solve_node(&node.lower, &node.upper, node.basis.as_ref()) {
                 Ok(s) => s,
                 Err(MilpError::Infeasible) => continue,
                 Err(e) => return Err(e),
@@ -146,11 +238,13 @@ impl<'a> BranchAndBound<'a> {
                     }
                 }
                 Some((var, value)) => {
-                    // Branch: var <= floor(value) and var >= ceil(value).
+                    // Branch: var <= floor(value) and var >= ceil(value); both
+                    // children inherit this node's optimal basis.
                     let mut down = Node {
                         bound: bound_min,
                         lower: node.lower.clone(),
                         upper: node.upper.clone(),
+                        basis: lp_sol.basis.clone(),
                     };
                     down.upper[var] = value.floor();
                     if down.lower[var] <= down.upper[var] + EPS {
@@ -160,6 +254,7 @@ impl<'a> BranchAndBound<'a> {
                         bound: bound_min,
                         lower: node.lower,
                         upper: node.upper,
+                        basis: lp_sol.basis,
                     };
                     up.lower[var] = value.ceil();
                     if up.lower[var] <= up.upper[var] + EPS {
@@ -243,6 +338,7 @@ mod tests {
     #[test]
     fn integer_rounding_matters() {
         // max x + y s.t. 2x + 2y <= 5, integer → optimum 2 (not 2.5).
+        // Unbounded-above integers exercise the dense fallback path.
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 1.0);
         let y = m.add_var("y", VarKind::Integer, 0.0, f64::INFINITY, 1.0);
@@ -365,5 +461,46 @@ mod tests {
             sol.objective()
         );
         assert!((sol.value(x) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_and_cold_solves_agree() {
+        // A battery of seeded knapsacks: warm-started and cold-started
+        // branch and bound must return identical objectives and plans.
+        for seed in 0u64..12 {
+            let mut m = Model::new(Sense::Maximize);
+            let n = 8;
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 100.0 + 0.5
+            };
+            let vals: Vec<f64> = (0..n).map(|_| next()).collect();
+            let weights: Vec<f64> = (0..n).map(|_| next()).collect();
+            let vars: Vec<_> = (0..n)
+                .map(|i| m.add_binary(format!("x{i}"), vals[i]))
+                .collect();
+            m.add_constraint(
+                "cap",
+                vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect(),
+                ConstraintSense::Le,
+                weights.iter().sum::<f64>() / 2.5,
+            );
+            let warm = m.solve_with(SolveOptions { warm_start: true }).unwrap();
+            let cold = m.solve_with(SolveOptions { warm_start: false }).unwrap();
+            assert!(
+                (warm.objective() - cold.objective()).abs() < 1e-7,
+                "seed {seed}: warm {} vs cold {}",
+                warm.objective(),
+                cold.objective()
+            );
+            assert_eq!(
+                warm.values(),
+                cold.values(),
+                "seed {seed}: warm/cold solutions diverged"
+            );
+        }
     }
 }

@@ -1,19 +1,19 @@
 //! # recshard-milp
 //!
 //! A small, dependency-free mixed-integer linear programming (MILP) solver:
-//! a dense-tableau Big-M simplex for linear programs plus best-first
-//! branch-and-bound for integrality.
+//! a sparse bounded-variable revised simplex with dual-simplex warm starts
+//! ([`sparse`]) drives best-first branch-and-bound with incumbent pruning
+//! ([`branch`]); each node re-optimises from its parent's basis in a handful
+//! of dual pivots instead of re-solving from scratch. A dense-tableau Big-M
+//! primal simplex ([`simplex`]) remains as the fallback for models outside
+//! the sparse solver's dual-feasible-start scope.
 //!
 //! The RecShard paper solves its embedding-table partitioning and placement
 //! problem with Gurobi. Gurobi is proprietary and unavailable here, so this
 //! crate provides the substrate needed to state the *exact same formulation*
 //! (Section 4.2, constraints 1–12) and solve it exactly for small instances;
-//! the `recshard` crate then layers a structured large-scale solver on top and
-//! validates it against this exact solver.
-//!
-//! The solver targets problems with up to a few hundred variables and
-//! constraints — more than enough for formulation-level ground truth — and is
-//! not intended to compete with industrial solvers.
+//! the `recshard` crate then layers the structured and bucketed large-scale
+//! solvers on top and validates them against this exact solver.
 //!
 //! ```
 //! use recshard_milp::{ConstraintSense, Model, Sense, VarKind};
@@ -37,7 +37,10 @@ pub mod error;
 pub mod model;
 pub mod simplex;
 pub mod solution;
+pub mod sparse;
 
+pub use branch::SolveOptions;
 pub use error::MilpError;
 pub use model::{Constraint, ConstraintSense, Model, Sense, VarId, VarKind, Variable};
 pub use solution::{Solution, SolveStats, Status};
+pub use sparse::{BasisSnapshot, SparseLp, SparseLpSolution, VarStatus};

@@ -253,10 +253,20 @@ impl Model {
     /// Returns [`MilpError::Infeasible`], [`MilpError::Unbounded`],
     /// [`MilpError::NodeLimit`] or [`MilpError::InvalidModel`].
     pub fn solve(&self) -> Result<Solution, MilpError> {
+        self.solve_with(crate::branch::SolveOptions::default())
+    }
+
+    /// Solves the model with explicit branch-and-bound options (e.g. warm
+    /// starts disabled, to cross-check the warm-start path).
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve`].
+    pub fn solve_with(&self, options: crate::branch::SolveOptions) -> Result<Solution, MilpError> {
         if self.variables.is_empty() {
             return Err(MilpError::InvalidModel("model has no variables".into()));
         }
-        BranchAndBound::new(self).solve()
+        BranchAndBound::with_options(self, options).solve()
     }
 }
 

@@ -57,6 +57,12 @@ pub struct ServeConfig {
     /// Extra latency per row fetched from UVM, in nanoseconds (page-fault /
     /// random-access cost on top of the bandwidth term).
     pub miss_latency_ns: u64,
+    /// One-way network hop latency for fan-in from a shard on a *different
+    /// node* than the front-end, in nanoseconds. Only exercised when the plan
+    /// carries a multi-node topology (the front-end sits on node 0); flat
+    /// plans and the default of 0 reproduce the single-host behaviour
+    /// exactly.
+    pub internode_hop_ns: u64,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +79,7 @@ impl Default for ServeConfig {
             stripes: 8,
             table_overhead_ns: 2_000,
             miss_latency_ns: 1_000,
+            internode_hop_ns: 0,
         }
     }
 }
@@ -163,6 +170,19 @@ impl InferenceServer {
         );
         let row_bytes: Vec<u64> = model.features().iter().map(|f| f.row_bytes()).collect();
 
+        // Shards on nodes other than the front-end's (node 0) pay one
+        // network hop on fan-in; flat plans put every shard on node 0.
+        let topology = plan.effective_topology();
+        let hop_of: Vec<u64> = (0..shards)
+            .map(|gpu| {
+                if topology.node_of_gpu(gpu) == 0 {
+                    0
+                } else {
+                    config.internode_hop_ns
+                }
+            })
+            .collect();
+
         // One worker thread per GPU shard; each mutates only its own cache
         // and clock, so the merged result is schedule-independent.
         let mut runs: Vec<ShardRun> = Vec::with_capacity(shards);
@@ -171,11 +191,12 @@ impl InferenceServer {
                 .shard_tasks
                 .iter()
                 .zip(&caches)
-                .map(|(tasks, cache)| {
+                .zip(&hop_of)
+                .map(|((tasks, cache), &hop_ns)| {
                     let arrivals = &stream.arrivals_ns;
                     let row_bytes = &row_bytes;
                     scope.spawn(move || {
-                        Self::run_shard(tasks, cache, arrivals, row_bytes, system, &config)
+                        Self::run_shard(tasks, cache, arrivals, row_bytes, system, &config, hop_ns)
                     })
                 })
                 .collect();
@@ -188,6 +209,8 @@ impl InferenceServer {
     }
 
     /// One shard's serving loop: FIFO virtual-time queueing over its tasks.
+    /// `hop_ns` delays each completion on the fan-in path (remote-node
+    /// shards) without occupying the shard itself.
     fn run_shard(
         tasks: &[ShardTask],
         cache: &ShardedCache,
@@ -195,6 +218,7 @@ impl InferenceServer {
         row_bytes: &[u64],
         system: &SystemSpec,
         config: &ServeConfig,
+        hop_ns: u64,
     ) -> ShardRun {
         let hbm_ns_per_byte = 1e9 / (system.hbm_bandwidth_gbps * 1e9);
         let uvm_ns_per_byte = 1e9 / (system.uvm_bandwidth_gbps * 1e9);
@@ -249,7 +273,7 @@ impl InferenceServer {
                 misses += m;
                 bypasses += b;
             }
-            completions.push((task.query, done));
+            completions.push((task.query, done + hop_ns));
         }
         ShardRun {
             completions,
@@ -478,6 +502,37 @@ mod tests {
             fast.p99_ms,
             slow.p99_ms
         );
+    }
+
+    #[test]
+    fn remote_node_shards_pay_the_fan_in_hop() {
+        use recshard_sharding::NodeTopology;
+        let (model, profile, system) = setup();
+        let plan = hash_placement(&model, 2);
+        let base = config(PolicyKind::Lru);
+        let flat = InferenceServer::run(&model, &plan, &profile, &system, base);
+        // Same placement, but shard 1 now lives on a second node 50 µs away.
+        let two_node = plan.clone().with_topology(NodeTopology::new(2, 1));
+        let remote = InferenceServer::run(
+            &model,
+            &two_node,
+            &profile,
+            &system,
+            ServeConfig {
+                internode_hop_ns: 50_000,
+                ..base
+            },
+        );
+        assert!(
+            remote.p50_ms > flat.p50_ms,
+            "remote fan-in hop must inflate latency ({} vs {})",
+            remote.p50_ms,
+            flat.p50_ms
+        );
+        // Hop of zero reproduces the flat run bit-for-bit even with a
+        // multi-node annotation.
+        let same = InferenceServer::run(&model, &two_node, &profile, &system, base);
+        assert_eq!(same.fingerprint, flat.fingerprint);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod greedy;
 pub mod plan;
 pub mod remap;
 pub mod system;
+pub mod topology;
 
 pub use cost::{CostFunction, LookupCost, SizeCost, SizeLookupCost};
 pub use error::ShardingError;
@@ -40,3 +41,4 @@ pub use greedy::GreedySharder;
 pub use plan::{MemoryTier, ShardingPlan, TablePlacement};
 pub use remap::{RemapTable, RemappedRow};
 pub use system::SystemSpec;
+pub use topology::{NodeAssigner, NodeAssignment, NodeTopology};

@@ -2,6 +2,7 @@
 
 use crate::error::ShardingError;
 use crate::system::SystemSpec;
+use crate::topology::NodeTopology;
 use recshard_data::{FeatureId, ModelSpec};
 use serde::{Deserialize, Serialize};
 
@@ -66,12 +67,15 @@ impl TablePlacement {
     }
 }
 
-/// A complete sharding plan: one [`TablePlacement`] per embedding table.
+/// A complete sharding plan: one [`TablePlacement`] per embedding table,
+/// optionally annotated with the node grid it was solved against
+/// (two-level plans; see [`ShardingPlan::with_topology`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardingPlan {
     strategy: String,
     num_gpus: usize,
     placements: Vec<TablePlacement>,
+    topology: Option<NodeTopology>,
 }
 
 impl ShardingPlan {
@@ -96,6 +100,89 @@ impl ShardingPlan {
             strategy: strategy.into(),
             num_gpus,
             placements,
+            topology: None,
+        }
+    }
+
+    /// Annotates the plan with the node grid it targets, turning it into a
+    /// two-level (hierarchical) plan. Global GPU ids are node-major: GPU `g`
+    /// lives on node `g / gpus_per_node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's GPU count differs from the plan's.
+    pub fn with_topology(mut self, topology: NodeTopology) -> Self {
+        assert_eq!(
+            topology.num_gpus(),
+            self.num_gpus,
+            "topology covers {} GPUs but the plan has {}",
+            topology.num_gpus(),
+            self.num_gpus
+        );
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The node grid of a two-level plan, `None` for flat single-host plans.
+    pub fn topology(&self) -> Option<NodeTopology> {
+        self.topology
+    }
+
+    /// The node grid, defaulting to a single node spanning every GPU.
+    pub fn effective_topology(&self) -> NodeTopology {
+        self.topology
+            .unwrap_or_else(|| NodeTopology::single(self.num_gpus))
+    }
+
+    /// Per-table owning node, indexed by dense feature id (all zeros for a
+    /// flat plan).
+    pub fn node_assignments(&self) -> Vec<usize> {
+        let topology = self.effective_topology();
+        self.placements
+            .iter()
+            .map(|p| topology.node_of_gpu(p.gpu))
+            .collect()
+    }
+
+    /// Tables owned by GPUs of the given node.
+    pub fn tables_on_node(&self, node: usize) -> Vec<FeatureId> {
+        let topology = self.effective_topology();
+        self.placements
+            .iter()
+            .filter(|p| topology.node_of_gpu(p.gpu) == node)
+            .map(|p| p.table)
+            .collect()
+    }
+
+    /// HBM bytes used on each node (summed over its GPUs).
+    pub fn hbm_bytes_per_node(&self) -> Vec<u64> {
+        let topology = self.effective_topology();
+        let mut usage = vec![0u64; topology.num_nodes];
+        for p in &self.placements {
+            usage[topology.node_of_gpu(p.gpu)] += p.hbm_bytes();
+        }
+        usage
+    }
+
+    /// UVM bytes used on behalf of each node.
+    pub fn uvm_bytes_per_node(&self) -> Vec<u64> {
+        let topology = self.effective_topology();
+        let mut usage = vec![0u64; topology.num_nodes];
+        for p in &self.placements {
+            usage[topology.node_of_gpu(p.gpu)] += p.uvm_bytes();
+        }
+        usage
+    }
+
+    /// Strips the node annotation, yielding the equivalent flat single-level
+    /// plan (placements are untouched — global GPU ids already encode the
+    /// node-major layout).
+    pub fn flatten(&self) -> ShardingPlan {
+        ShardingPlan {
+            strategy: self.strategy.clone(),
+            num_gpus: self.num_gpus,
+            placements: self.placements.clone(),
+            topology: None,
         }
     }
 
@@ -207,6 +294,15 @@ impl ShardingPlan {
                 self.placements.len(),
                 model.num_features()
             )));
+        }
+        if let Some(topology) = self.topology {
+            if topology.num_gpus() != self.num_gpus {
+                return Err(ShardingError::InvalidPlan(format!(
+                    "topology covers {} GPUs but the plan has {}",
+                    topology.num_gpus(),
+                    self.num_gpus
+                )));
+            }
         }
         for p in &self.placements {
             let spec = model.feature(p.table);

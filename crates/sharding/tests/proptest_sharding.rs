@@ -1,13 +1,78 @@
-//! Property-based tests for sharding plans, the greedy baselines and the
-//! remapping tables.
+//! Property-based tests for sharding plans, the greedy baselines, the
+//! remapping tables and two-level (hierarchical) plans.
 
 use proptest::prelude::*;
 use recshard_data::{FeatureId, ModelSpec};
 use recshard_sharding::{
-    GreedySharder, LookupCost, MemoryTier, RemapTable, SizeCost, SizeLookupCost, SystemSpec,
-    TablePlacement,
+    GreedySharder, LookupCost, MemoryTier, NodeAssigner, NodeTopology, RemapTable, ShardingPlan,
+    SizeCost, SizeLookupCost, SystemSpec, TablePlacement,
 };
-use recshard_stats::DatasetProfiler;
+use recshard_stats::{DatasetProfile, DatasetProfiler};
+
+/// Builds a two-level plan entirely at the sharding layer: level 1 assigns
+/// tables to nodes with [`NodeAssigner`], level 2 runs an independent greedy
+/// shard per node over that node's tables, and the merged placements use
+/// node-major global GPU ids (mirroring `recshard`'s hierarchical solver).
+fn two_level_greedy(
+    model: &ModelSpec,
+    profile: &DatasetProfile,
+    system: &SystemSpec,
+    topology: NodeTopology,
+) -> Option<ShardingPlan> {
+    let assignment = NodeAssigner.assign(model, profile, system, topology).ok()?;
+    let node_system = SystemSpec::uniform(
+        topology.gpus_per_node,
+        system.hbm_capacity_per_gpu,
+        system.dram_capacity_per_gpu,
+        system.hbm_bandwidth_gbps,
+        system.uvm_bandwidth_gbps,
+    );
+    let mut placements: Vec<Option<TablePlacement>> = vec![None; model.num_features()];
+    for node in 0..topology.num_nodes {
+        let tables = assignment.tables_on_node(node);
+        if tables.is_empty() {
+            continue;
+        }
+        let features = tables
+            .iter()
+            .enumerate()
+            .map(|(local, &t)| {
+                let mut spec = model.features()[t].clone();
+                spec.id = FeatureId(local as u32);
+                spec
+            })
+            .collect();
+        let profiles = tables
+            .iter()
+            .enumerate()
+            .map(|(local, &t)| {
+                let mut p = profile.profiles()[t].clone();
+                p.id = FeatureId(local as u32);
+                p
+            })
+            .collect();
+        let sub_model = ModelSpec::new(
+            "node-sub",
+            recshard_data::RmKind::Custom,
+            features,
+            model.batch_size(),
+        );
+        let sub_profile = DatasetProfile::new(profiles, profile.samples_profiled());
+        let sub_plan = GreedySharder::new(SizeLookupCost)
+            .shard(&sub_model, &sub_profile, &node_system)
+            .ok()?;
+        for (local, p) in sub_plan.placements().iter().enumerate() {
+            let global = tables[local];
+            placements[global] = Some(TablePlacement {
+                table: FeatureId(global as u32),
+                gpu: node * topology.gpus_per_node + p.gpu,
+                ..*p
+            });
+        }
+    }
+    let placements = placements.into_iter().collect::<Option<Vec<_>>>()?;
+    Some(ShardingPlan::new("two-level-greedy", system.num_gpus, placements).with_topology(topology))
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -168,6 +233,117 @@ proptest! {
                 prop_assert!(bytes <= system.dram_capacity_per_gpu);
             }
         }
+    }
+
+    /// Two-level plans place every table exactly once across (node, GPU)
+    /// pairs, and the node derived from the global GPU id agrees with the
+    /// level-1 assignment.
+    #[test]
+    fn hierarchical_plans_place_exactly_once_across_node_gpu_pairs(
+        n_tables in 4usize..16,
+        seed in 0u64..200,
+        nodes in 2usize..4,
+        gpus_per_node in 1usize..3,
+    ) {
+        let topology = NodeTopology::new(nodes, gpus_per_node);
+        let model = ModelSpec::small(n_tables, seed);
+        let profile = DatasetProfiler::profile_model(&model, 300, seed ^ 0x2077);
+        let system = SystemSpec::uniform(
+            topology.num_gpus(),
+            (model.total_bytes() / topology.num_gpus() as u64).max(1),
+            model.total_bytes() * 2,
+            1555.0,
+            16.0,
+        );
+        let Some(plan) = two_level_greedy(&model, &profile, &system, topology) else { continue };
+        prop_assert!(plan.validate(&model, &system).is_ok());
+        prop_assert_eq!(plan.topology(), Some(topology));
+
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..nodes {
+            for gpu in topology.gpus_of_node(node) {
+                for table in plan.tables_on_gpu(gpu) {
+                    prop_assert!(seen.insert(table), "table {table} placed twice");
+                    prop_assert_eq!(plan.node_assignments()[table.index()], node);
+                }
+            }
+        }
+        prop_assert_eq!(seen.len(), model.num_features());
+        // The per-node table lists partition the model as well.
+        let per_node: usize = (0..nodes).map(|n| plan.tables_on_node(n).len()).sum();
+        prop_assert_eq!(per_node, model.num_features());
+    }
+
+    /// Two-level plans never exceed per-GPU capacity, and therefore never
+    /// exceed per-node capacity (each node's budget is the sum of its GPUs');
+    /// both are asserted independently against the accounting helpers.
+    #[test]
+    fn hierarchical_per_node_and_per_gpu_capacity_never_exceeded(
+        n_tables in 4usize..14,
+        seed in 0u64..200,
+        nodes in 2usize..4,
+        hbm_denominator in 1u64..8,
+    ) {
+        let topology = NodeTopology::new(nodes, 2);
+        let model = ModelSpec::small(n_tables, seed);
+        let profile = DatasetProfiler::profile_model(&model, 300, seed ^ 0xF1E1D);
+        let system = SystemSpec::uniform(
+            topology.num_gpus(),
+            (model.total_bytes() / (topology.num_gpus() as u64 * hbm_denominator)).max(1),
+            model.total_bytes() * 2,
+            1555.0,
+            16.0,
+        );
+        let Some(plan) = two_level_greedy(&model, &profile, &system, topology) else { continue };
+        for &bytes in &plan.hbm_bytes_per_gpu() {
+            prop_assert!(bytes <= system.hbm_capacity_per_gpu);
+        }
+        for &bytes in &plan.uvm_bytes_per_gpu() {
+            prop_assert!(bytes <= system.dram_capacity_per_gpu);
+        }
+        let node_hbm_cap = system.hbm_capacity_per_gpu * topology.gpus_per_node as u64;
+        let node_dram_cap = system.dram_capacity_per_gpu * topology.gpus_per_node as u64;
+        let hbm_per_node = plan.hbm_bytes_per_node();
+        let uvm_per_node = plan.uvm_bytes_per_node();
+        prop_assert_eq!(hbm_per_node.len(), nodes);
+        for (&hbm, &uvm) in hbm_per_node.iter().zip(&uvm_per_node) {
+            prop_assert!(hbm <= node_hbm_cap);
+            prop_assert!(uvm <= node_dram_cap);
+        }
+        // Node accounting sums to GPU accounting.
+        prop_assert_eq!(
+            hbm_per_node.iter().sum::<u64>(),
+            plan.hbm_bytes_per_gpu().iter().sum::<u64>()
+        );
+    }
+
+    /// Flattening a two-level plan yields a valid single-level plan with
+    /// identical placements (global GPU ids already encode the node-major
+    /// layout).
+    #[test]
+    fn flattening_two_level_plan_yields_valid_single_level_plan(
+        n_tables in 4usize..14,
+        seed in 0u64..200,
+        nodes in 2usize..4,
+    ) {
+        let topology = NodeTopology::new(nodes, 2);
+        let model = ModelSpec::small(n_tables, seed);
+        let profile = DatasetProfiler::profile_model(&model, 300, seed ^ 0xFA7);
+        let system = SystemSpec::uniform(
+            topology.num_gpus(),
+            (model.total_bytes() / topology.num_gpus() as u64).max(1),
+            model.total_bytes() * 2,
+            1555.0,
+            16.0,
+        );
+        let Some(plan) = two_level_greedy(&model, &profile, &system, topology) else { continue };
+        let flat = plan.flatten();
+        prop_assert_eq!(flat.topology(), None);
+        prop_assert!(flat.validate(&model, &system).is_ok());
+        prop_assert_eq!(flat.placements(), plan.placements());
+        // A flat plan's node view degenerates to one all-covering node.
+        prop_assert_eq!(flat.node_assignments(), vec![0usize; model.num_features()]);
+        prop_assert_eq!(flat.effective_topology(), NodeTopology::single(system.num_gpus));
     }
 
     /// Remap *transitions* are valid permutations: re-sharding a table from

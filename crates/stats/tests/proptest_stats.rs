@@ -78,3 +78,72 @@ proptest! {
         prop_assert_eq!(icdf.max_rows(), cdf.rows_ranked());
     }
 }
+
+/// Edge cases of the CDF knee used by the serving cache's stat-guided
+/// pinning: single-row tables, uniform CDFs with no knee, and degenerate
+/// all-zero / never-accessed profiles.
+mod knee_rank_edge_cases {
+    use recshard_stats::{AccessCdf, FrequencyMap};
+
+    #[test]
+    fn single_row_table_knees_at_its_only_row() {
+        let mut f = FrequencyMap::new();
+        f.record_n(0, 1);
+        let knee = AccessCdf::from_frequency(&f).knee_rank();
+        assert_eq!(knee, 1, "the only accessed row is the whole head");
+
+        // Heavier traffic on the same single row changes nothing.
+        let mut f = FrequencyMap::new();
+        f.record_n(0, 1_000_000);
+        assert_eq!(AccessCdf::from_frequency(&f).knee_rank(), 1);
+    }
+
+    #[test]
+    fn uniform_cdf_has_no_knee_and_pins_almost_nothing() {
+        for rows in [2u64, 10, 1_000] {
+            let mut f = FrequencyMap::new();
+            for r in 0..rows {
+                f.record_n(r, 7);
+            }
+            let cdf = AccessCdf::from_frequency(&f);
+            let knee = cdf.knee_rank();
+            // A perfectly uniform curve sits on the diagonal: the degenerate
+            // maximum lands on the first rank, so a stat-guided cache pins
+            // (at most) one row.
+            assert!(
+                knee <= 1,
+                "uniform CDF over {rows} rows produced knee {knee}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_and_empty_profiles_knee_at_zero() {
+        assert_eq!(AccessCdf::empty().knee_rank(), 0);
+        // A frequency map that recorded nothing behaves like empty.
+        let f = FrequencyMap::new();
+        assert_eq!(AccessCdf::from_frequency(&f).knee_rank(), 0);
+        // Ranked counts that are all zero carry zero total accesses.
+        let cdf = AccessCdf::from_ranked_counts(&[0, 0, 0]);
+        assert_eq!(cdf.total_accesses(), 0);
+        assert_eq!(cdf.knee_rank(), 0);
+    }
+
+    #[test]
+    fn knee_is_within_ranked_rows_and_covers_the_head() {
+        // A two-tier distribution: the knee must sit at the head/tail
+        // boundary and cover the head's share of accesses.
+        let mut f = FrequencyMap::new();
+        for r in 0..10u64 {
+            f.record_n(r, 100);
+        }
+        for r in 10..1_000u64 {
+            f.record_n(r, 1);
+        }
+        let cdf = AccessCdf::from_frequency(&f);
+        let knee = cdf.knee_rank();
+        assert!(knee >= 1 && knee <= cdf.rows_ranked());
+        assert_eq!(knee, 10, "knee must sit exactly at the head/tail boundary");
+        assert!(cdf.access_fraction(knee) > 0.5);
+    }
+}

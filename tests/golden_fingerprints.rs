@@ -14,6 +14,7 @@
 //! constants by running the failing test and copying the `actual` values
 //! from the assertion message.
 
+use recshard_bench::solver_bench::{run_sweep, SolverBenchConfig};
 use recshard_bench::{skewed_model, ExperimentConfig, Strategy};
 use recshard_data::RmKind;
 use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator, RunSummary};
@@ -32,6 +33,14 @@ const DES_THROUGHPUT_GOLDEN: [u64; 4] = [
 /// Committed fingerprint of the `fig13_scaling` DES backend (tiny config,
 /// RM1, RecShard plan).
 const FIG13_DES_GOLDEN: u64 = 0x088f_5c6b_4ad9_b186;
+
+/// Committed fingerprint of the tiny `solver_scaling` sweep: the FNV-1a hash
+/// of the canonical `BENCH_solver.json` payload with timing fields blanked.
+const SOLVER_SCALING_GOLDEN: u64 = 0xccc9_6a71_07eb_426a;
+
+/// Committed per-point scalable-plan fingerprints of the tiny sweep
+/// (placement-level regression lock, finer than the JSON hash).
+const SOLVER_SCALING_PLAN_GOLDEN: [u64; 2] = [0x2fb9_1b57_659d_ddcb, 0x97c4_2462_237c_40fd];
 
 /// The scaled-down `des_throughput` configuration: same skewed workload
 /// shape, same capacity pressure (HBM holds ~1/3 of the model), fixed
@@ -88,6 +97,48 @@ fn des_throughput_replay_reproduces_the_full_summary() {
     let a = des_throughput_run(Strategy::RecShard);
     let b = des_throughput_run(Strategy::RecShard);
     assert_eq!(a, b, "identical seeds must reproduce identical summaries");
+}
+
+#[test]
+fn solver_scaling_fingerprint_is_bit_for_bit_stable() {
+    let report = run_sweep(&SolverBenchConfig::tiny());
+    assert_eq!(report.points.len(), SOLVER_SCALING_PLAN_GOLDEN.len());
+    for (p, &golden) in report.points.iter().zip(&SOLVER_SCALING_PLAN_GOLDEN) {
+        assert_eq!(
+            p.scalable_plan_fingerprint,
+            golden,
+            "{} tables x {} GPUs: scalable plan drifted (actual {:#018x}, golden {:#018x}); \
+             all actuals: {:?}",
+            p.tables,
+            p.gpus,
+            p.scalable_plan_fingerprint,
+            golden,
+            report
+                .points
+                .iter()
+                .map(|p| format!("{:#018x}", p.scalable_plan_fingerprint))
+                .collect::<Vec<_>>()
+        );
+    }
+    assert_eq!(
+        report.fingerprint(),
+        SOLVER_SCALING_GOLDEN,
+        "solver_scaling JSON drifted (actual {:#018x}, golden {:#018x})",
+        report.fingerprint(),
+        SOLVER_SCALING_GOLDEN
+    );
+}
+
+#[test]
+fn solver_scaling_json_is_byte_identical_across_runs() {
+    let cfg = SolverBenchConfig::tiny();
+    let a = run_sweep(&cfg);
+    let b = run_sweep(&cfg);
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "identical seeds must emit byte-identical BENCH_solver.json payloads"
+    );
 }
 
 #[test]

@@ -171,6 +171,7 @@ fn analytical_matches_des_iteration_time() {
         scale_to_batch: None,
         alltoall_latency_us: 0.0,
         alltoall_bandwidth_gbps: 1e12,
+        ..ClusterConfig::default()
     };
     let summary = ClusterSimulator::new(&model, &plan, &profile, &system, config).run();
     assert_eq!(summary.completed, 200);
