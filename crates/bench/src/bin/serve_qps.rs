@@ -116,8 +116,8 @@ fn main() {
     );
     println!(
         "# HBM cache per shard: {:.1} MiB ({:.0}% of a fair share of the model)",
-        system.hbm_capacity_per_gpu as f64 / (1 << 20) as f64,
-        100.0 * system.hbm_capacity_per_gpu as f64 / (model.total_bytes() as f64 / shards as f64)
+        system.hbm_capacity(0) as f64 / (1 << 20) as f64,
+        100.0 * system.hbm_capacity(0) as f64 / (model.total_bytes() as f64 / shards as f64)
     );
     println!();
     print_row(&[

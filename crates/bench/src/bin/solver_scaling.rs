@@ -20,7 +20,7 @@
 //! Environment overrides: `RECSHARD_SOLVER_MAX_TABLES`,
 //! `RECSHARD_SOLVER_MAX_GPUS`, `RECSHARD_SEED`, `RECSHARD_BENCH_TIMING`.
 
-use recshard_bench::solver_bench::{run_sweep, SolverBenchConfig};
+use recshard_bench::solver_bench::{cost_regressions, run_sweep, SolverBenchConfig};
 
 fn main() {
     let cfg = SolverBenchConfig::from_env();
@@ -56,6 +56,42 @@ fn main() {
         );
     }
 
+    for h in &report.hetero {
+        assert!(
+            h.scalable_vs_greedy < 1.0,
+            "{} tables x {} GPUs mixed cluster: the class-aware solver must beat \
+             class-blind greedy strictly (ratio {})",
+            h.tables,
+            h.gpus,
+            h.scalable_vs_greedy
+        );
+    }
+
+    // Perf-trajectory gate: when RECSHARD_BENCH_BASELINE points at a
+    // previously committed BENCH_solver.json, fail on cost-ratio
+    // regressions beyond the tolerance (default 2%) — not on mere
+    // fingerprint drift. Read the baseline *before* overwriting it below.
+    if let Ok(baseline_path) = std::env::var("RECSHARD_BENCH_BASELINE") {
+        let tolerance = std::env::var("RECSHARD_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.02);
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let regressions = cost_regressions(&report, &baseline, tolerance);
+        if regressions.is_empty() {
+            println!(
+                "no cost-ratio regressions vs {baseline_path} (tolerance {:.1}%)",
+                tolerance * 100.0
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("COST REGRESSION: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+
     let json = report.to_json();
     std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
     println!();
@@ -77,5 +113,15 @@ fn main() {
     println!(
         "scalable vs structured worst-case cost ratio {worst:.4} (bound 1.01), \
          best bucketing compression {best_compression:.2}x"
+    );
+    let hetero_worst = report
+        .hetero
+        .iter()
+        .map(|h| h.scalable_vs_greedy)
+        .fold(0.0f64, f64::max);
+    println!(
+        "hetero_scaling: {} mixed-cluster points, class-aware vs class-blind \
+         worst-case cost ratio {hetero_worst:.4} (bound: strictly < 1)",
+        report.hetero.len()
     );
 }

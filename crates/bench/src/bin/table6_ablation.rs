@@ -18,8 +18,10 @@ fn main() {
     // proportion to recreate that pressure inside the observed region;
     // otherwise every variant trivially keeps all observed rows in HBM and
     // the ablation degenerates.
-    let mut system = setup.system;
-    system.hbm_capacity_per_gpu /= 6;
+    let system = setup.system.map_classes(|mut c| {
+        c.hbm_capacity /= 6;
+        c
+    });
 
     println!(
         "# Table 6: RecShard ablation on RM3 ({} GPUs, scale 1/{})",

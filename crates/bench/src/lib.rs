@@ -392,7 +392,7 @@ mod tests {
         let cfg = ExperimentConfig::tiny();
         let setup = cfg.setup(RmKind::Rm1);
         assert_eq!(setup.model.num_features(), setup.profile.num_features());
-        assert_eq!(setup.system.num_gpus, cfg.gpus);
+        assert_eq!(setup.system.num_gpus(), cfg.gpus);
         let plan = setup.plan(Strategy::RecShard);
         let interval = setup.arrival_interval_ms(&plan, 2.0);
         assert!(interval > 0.0);

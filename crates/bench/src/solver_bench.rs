@@ -22,7 +22,7 @@ use recshard::{
     HierarchicalSolver, RecShardConfig, ScalableSolveReport, ScalableSolver, StructuredSolver,
 };
 use recshard_memsim::AnalyticalEstimator;
-use recshard_sharding::{NodeTopology, ShardingPlan, SystemSpec};
+use recshard_sharding::{ClusterSpec, DeviceClass, NodeTopology, ShardingPlan, SystemSpec};
 use recshard_stats::{DatasetProfile, DatasetProfiler};
 use std::time::Instant;
 
@@ -129,6 +129,30 @@ pub struct SweepPoint {
     pub wall_hierarchical_ms: f64,
 }
 
+/// One `hetero_scaling` point: the same skewed workload placed on a mixed
+/// two-class cluster (half fast/large-HBM devices, half slow/small-HBM), the
+/// class-aware scalable solver against the class-blind greedy baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroPoint {
+    /// Tables in the model.
+    pub tables: usize,
+    /// Total GPUs (evenly split between the two classes).
+    pub gpus: usize,
+    /// GPUs of the fast/large class.
+    pub big_gpus: usize,
+    /// GPUs of the slow/small class.
+    pub small_gpus: usize,
+    /// Max per-GPU cost (ms) of the class-blind greedy size-lookup plan.
+    pub greedy_cost_ms: f64,
+    /// Max per-GPU cost (ms) of the class-aware scalable plan.
+    pub scalable_cost_ms: f64,
+    /// `scalable_cost_ms / greedy_cost_ms` — asserted *strictly* below 1 on
+    /// skewed-capacity clusters (the class-aware solver must win).
+    pub scalable_vs_greedy: f64,
+    /// FNV-1a fingerprint of the scalable plan's placements.
+    pub scalable_plan_fingerprint: u64,
+}
+
 /// The full sweep result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverBenchReport {
@@ -138,6 +162,8 @@ pub struct SolverBenchReport {
     pub timed: bool,
     /// Per-point results, sweep order (tables outer, gpus inner).
     pub points: Vec<SweepPoint>,
+    /// Heterogeneous-cluster results, one per table count.
+    pub hetero: Vec<HeteroPoint>,
 }
 
 /// Node grid used by the hierarchical path at a given GPU count.
@@ -162,6 +188,23 @@ pub fn bench_system(model_bytes: u64, gpus: usize) -> SystemSpec {
         1555.0,
         16.0,
     )
+}
+
+/// The mixed two-class evaluation cluster of the `hetero_scaling` points:
+/// the *aggregate* HBM equals [`bench_system`]'s (same overall capacity
+/// pressure) but it is skewed 3:1 between a fast H100-like class and a slow
+/// A100-like class, each holding half the GPUs. A class-blind cost model
+/// balances load evenly across GPUs and starves on the small/slow half; the
+/// class-aware solvers shift hot splits toward the big/fast half.
+pub fn hetero_bench_system(model_bytes: u64, gpus: usize) -> ClusterSpec {
+    assert!(
+        gpus >= 2 && gpus.is_multiple_of(2),
+        "hetero points need an even GPU count"
+    );
+    let fair = (model_bytes / (3 * gpus as u64)).max(2);
+    let big = DeviceClass::new("h100-like", fair / 2 * 3, model_bytes, 3350.0, 50.0);
+    let small = DeviceClass::new("a100-like", fair / 2, model_bytes, 1555.0, 16.0);
+    ClusterSpec::mixed(&[(big, gpus / 2), (small, gpus / 2)])
 }
 
 fn max_cost(
@@ -284,10 +327,45 @@ pub fn run_sweep(cfg: &SolverBenchConfig) -> SolverBenchReport {
         }
     }
 
+    // ---- hetero_scaling: mixed two-class cluster, one point per table
+    // count at the sweep's largest even GPU count ----
+    let mut hetero = Vec::new();
+    let hetero_gpus = cfg.gpu_counts.iter().copied().filter(|g| g % 2 == 0).max();
+    if let Some(gpus) = hetero_gpus {
+        for &tables in &cfg.table_counts {
+            let model = skewed_model(tables);
+            let profile = DatasetProfiler::profile_model(&model, cfg.profile_samples, cfg.seed);
+            let system = hetero_bench_system(model.total_bytes(), gpus);
+            let greedy_plan = Strategy::SizeLookupBased.plan(&model, &profile, &system);
+            let scalable_plan = ScalableSolver::new(eval_config)
+                .solve(&model, &profile, &system)
+                .expect("hetero scalable solve failed");
+            let greedy_cost = max_cost(&evaluator, &model, &profile, &system, &greedy_plan);
+            let scalable_cost = max_cost(&evaluator, &model, &profile, &system, &scalable_plan);
+            let ratio = scalable_cost / greedy_cost.max(1e-12);
+            println!(
+                "hetero_scaling: {tables} tables x {gpus} GPUs ({}+{} mixed): class-aware vs class-blind greedy cost ratio {ratio:.3}",
+                gpus / 2,
+                gpus / 2,
+            );
+            hetero.push(HeteroPoint {
+                tables,
+                gpus,
+                big_gpus: gpus / 2,
+                small_gpus: gpus / 2,
+                greedy_cost_ms: greedy_cost,
+                scalable_cost_ms: scalable_cost,
+                scalable_vs_greedy: ratio,
+                scalable_plan_fingerprint: plan_fingerprint(&scalable_plan),
+            });
+        }
+    }
+
     SolverBenchReport {
         seed: cfg.seed,
         timed: cfg.include_timing,
         points,
+        hetero,
     }
 }
 
@@ -334,6 +412,26 @@ impl SolverBenchReport {
                 if i + 1 < self.points.len() { "," } else { "" },
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"hetero_points\": [\n");
+        for (i, p) in self.hetero.iter().enumerate() {
+            let f = |x: f64| format!("{x:.9e}");
+            out.push_str(&format!(
+                "    {{\"tables\": {}, \"gpus\": {}, \"big_gpus\": {}, \
+                 \"small_gpus\": {}, \"greedy_cost_ms\": {}, \
+                 \"scalable_cost_ms\": {}, \"scalable_vs_greedy\": {}, \
+                 \"scalable_plan_fingerprint\": \"{:#018x}\"}}{}\n",
+                p.tables,
+                p.gpus,
+                p.big_gpus,
+                p.small_gpus,
+                f(p.greedy_cost_ms),
+                f(p.scalable_cost_ms),
+                f(p.scalable_vs_greedy),
+                p.scalable_plan_fingerprint,
+                if i + 1 < self.hetero.len() { "," } else { "" },
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -355,6 +453,72 @@ impl SolverBenchReport {
         }
         hash
     }
+}
+
+/// Extracts a numeric field from one canonical-JSON point line.
+fn field_num(line: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\": ");
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Compares a freshly computed report against a previously committed
+/// `BENCH_solver.json` payload and returns one human-readable line per
+/// *cost-ratio regression*: a sweep point (matched on `tables` × `gpus`)
+/// whose `scalable_cost_ms` — or a hetero point whose class-aware cost —
+/// grew by more than `tolerance` (relative). Points missing on either side
+/// are ignored, so trimming the sweep via the `RECSHARD_SOLVER_MAX_*`
+/// environment overrides never false-positives.
+///
+/// This is deliberately stronger than fingerprint comparison: a fingerprint
+/// flags *any* plan change, while this gate fails only when the perf
+/// trajectory actually regresses.
+pub fn cost_regressions(
+    current: &SolverBenchReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut in_hetero = false;
+    let mut baseline_points = Vec::new(); // (hetero, tables, gpus, scalable_cost)
+    for line in baseline_json.lines() {
+        if line.contains("\"hetero_points\"") {
+            in_hetero = true;
+        }
+        let (Some(tables), Some(gpus), Some(cost)) = (
+            field_num(line, "tables"),
+            field_num(line, "gpus"),
+            field_num(line, "scalable_cost_ms"),
+        ) else {
+            continue;
+        };
+        baseline_points.push((in_hetero, tables as usize, gpus as usize, cost));
+    }
+
+    let mut regressions = Vec::new();
+    let mut check = |hetero: bool, tables: usize, gpus: usize, cost: f64| {
+        let Some(&(_, _, _, base)) = baseline_points
+            .iter()
+            .find(|&&(h, t, g, _)| h == hetero && t == tables && g == gpus)
+        else {
+            return;
+        };
+        if cost > base * (1.0 + tolerance) {
+            regressions.push(format!(
+                "{}{tables} tables x {gpus} GPUs: scalable cost {cost:.6e} ms exceeds                  baseline {base:.6e} ms by more than {:.1}%",
+                if hetero { "hetero " } else { "" },
+                tolerance * 100.0,
+            ));
+        }
+    };
+    for p in &current.points {
+        check(false, p.tables, p.gpus, p.scalable_cost_ms);
+    }
+    for h in &current.hetero {
+        check(true, h.tables, h.gpus, h.scalable_cost_ms);
+    }
+    regressions
 }
 
 #[cfg(test)]
@@ -383,6 +547,77 @@ mod tests {
             assert!(p.compression_ratio >= 1.0);
             assert_eq!(p.wall_scalable_ms, TIMING_DISABLED);
         }
+    }
+
+    #[test]
+    fn hetero_points_class_aware_strictly_beats_class_blind_greedy() {
+        let report = run_sweep(&SolverBenchConfig::tiny());
+        assert_eq!(report.hetero.len(), 2, "one hetero point per table count");
+        for h in &report.hetero {
+            assert_eq!(h.big_gpus + h.small_gpus, h.gpus);
+            assert!(
+                h.scalable_vs_greedy < 1.0,
+                "{} tables x {} GPUs mixed: the class-aware solver must beat \
+                 class-blind greedy strictly (ratio {})",
+                h.tables,
+                h.gpus,
+                h.scalable_vs_greedy
+            );
+        }
+    }
+
+    #[test]
+    fn hetero_system_preserves_aggregate_pressure() {
+        let model = skewed_model(24);
+        let uniform = bench_system(model.total_bytes(), 4);
+        let mixed = hetero_bench_system(model.total_bytes(), 4);
+        assert_eq!(mixed.num_classes(), 2);
+        assert!(!mixed.is_uniform());
+        // Same aggregate HBM (up to the /2*3 rounding), skewed 3:1 per GPU.
+        let tol = 4 * 2; // one rounding unit per GPU
+        assert!(
+            mixed
+                .total_hbm_capacity()
+                .abs_diff(uniform.total_hbm_capacity())
+                <= tol,
+            "aggregate HBM must match the uniform bench system ({} vs {})",
+            mixed.total_hbm_capacity(),
+            uniform.total_hbm_capacity()
+        );
+        assert_eq!(mixed.hbm_capacity(0), 3 * mixed.hbm_capacity(3));
+    }
+
+    #[test]
+    fn cost_regression_gate_accepts_itself_and_catches_inflation() {
+        let report = run_sweep(&SolverBenchConfig::tiny());
+        let baseline = report.to_json();
+        assert!(
+            cost_regressions(&report, &baseline, 0.02).is_empty(),
+            "a report can never regress against its own serialisation"
+        );
+
+        // Inflate every current cost by 10%: a 2% gate must flag every
+        // matched point, uniform and hetero alike.
+        let mut inflated = report.clone();
+        for p in &mut inflated.points {
+            p.scalable_cost_ms *= 1.1;
+        }
+        for h in &mut inflated.hetero {
+            h.scalable_cost_ms *= 1.1;
+        }
+        let regressions = cost_regressions(&inflated, &baseline, 0.02);
+        assert_eq!(
+            regressions.len(),
+            report.points.len() + report.hetero.len(),
+            "every inflated point must be flagged: {regressions:?}"
+        );
+        // A looser 20% gate accepts the same drift.
+        assert!(cost_regressions(&inflated, &baseline, 0.2).is_empty());
+
+        // Baseline/current sweep-shape mismatches are ignored, not flagged.
+        let mut trimmed = report.clone();
+        trimmed.points.truncate(1);
+        assert!(cost_regressions(&trimmed, &baseline, 0.02).is_empty());
     }
 
     #[test]

@@ -14,6 +14,12 @@ pub enum SolverKind {
     /// instances (a handful of tables and GPUs); used as ground truth in
     /// tests and available for experimentation.
     ExactMilp,
+    /// The bucketed scalable solver. Same plan shape as `Structured` within
+    /// 1% of its cost at a fraction of the solve time, and the only solver
+    /// that accepts a *warm start* from a previous plan — the online
+    /// re-sharding controller seeds each re-solve with the outgoing
+    /// assignment so drift events migrate as few bytes as possible.
+    Scalable,
 }
 
 /// Configuration of the RecShard partitioning and placement stage.
@@ -69,6 +75,12 @@ impl RecShardConfig {
     /// Returns a copy using the exact MILP solver.
     pub fn with_exact_milp(mut self) -> Self {
         self.solver = SolverKind::ExactMilp;
+        self
+    }
+
+    /// Returns a copy using the bucketed scalable solver (warm-startable).
+    pub fn with_scalable(mut self) -> Self {
+        self.solver = SolverKind::Scalable;
         self
     }
 

@@ -2,7 +2,7 @@
 //! structured solver (constraints 11 and 12 of the paper).
 
 use crate::config::RecShardConfig;
-use recshard_sharding::SystemSpec;
+use recshard_sharding::DeviceClass;
 use recshard_stats::FeatureProfile;
 use serde::{Deserialize, Serialize};
 
@@ -47,10 +47,16 @@ impl TableCostModel {
     /// hot-row set covers, each scaled by the corresponding bandwidth. The
     /// result is multiplied by coverage (constraint 12). The ablation switches
     /// in [`RecShardConfig`] replace pooling and/or coverage with 1.
+    ///
+    /// Costs are built against one [`DeviceClass`]'s bandwidths: on a
+    /// heterogeneous cluster the same split has a different cost per class,
+    /// so solvers build (or evaluate) one menu per class. The menu's
+    /// *geometry* — row counts and bytes per step — depends only on the
+    /// profile and is identical across classes.
     pub fn build(
         table: usize,
         profile: &FeatureProfile,
-        system: &SystemSpec,
+        device: &DeviceClass,
         batch_size: u32,
         config: &RecShardConfig,
     ) -> Self {
@@ -68,8 +74,8 @@ impl TableCostModel {
         };
         // Expected bytes the table moves per iteration (before tier split).
         let per_iter_bytes = pooling * row_bytes as f64 * batch_size as f64;
-        let hbm_gbps = system.hbm_bandwidth_gbps * 1e9;
-        let uvm_gbps = system.uvm_bandwidth_gbps * 1e9;
+        let hbm_gbps = device.hbm_bandwidth_gbps * 1e9;
+        let uvm_gbps = device.uvm_bandwidth_gbps * 1e9;
 
         let mut options = Vec::with_capacity(config.icdf_steps + 1);
         for step in 0..=config.icdf_steps {
@@ -100,10 +106,13 @@ impl TableCostModel {
     /// `hbm_rows` hottest rows of `profile`'s table in HBM — the single-point
     /// version of [`build`](Self::build), `O(1)` thanks to the indexed CDF.
     /// The scalable solver uses this to score every *member* of a bucket
-    /// exactly while only the step menus are shared.
+    /// exactly while only the step menus are shared, and the per-GPU cost
+    /// evaluators use it with the *owning GPU's* device class so a
+    /// heterogeneous cluster charges every table the bandwidths of the GPU
+    /// it actually lives on.
     pub fn weighted_cost_at(
         profile: &FeatureProfile,
-        system: &SystemSpec,
+        device: &DeviceClass,
         batch_size: u32,
         config: &RecShardConfig,
         hbm_rows: u64,
@@ -120,8 +129,8 @@ impl TableCostModel {
         };
         // Expected bytes the table moves per iteration (before tier split).
         let per_iter_bytes = pooling * profile.row_bytes() as f64 * batch_size as f64;
-        let hbm_gbps = system.hbm_bandwidth_gbps * 1e9;
-        let uvm_gbps = system.uvm_bandwidth_gbps * 1e9;
+        let hbm_gbps = device.hbm_bandwidth_gbps * 1e9;
+        let uvm_gbps = device.uvm_bandwidth_gbps * 1e9;
         let pct = profile.cdf.access_fraction(hbm_rows.min(profile.hash_size));
         let cost_seconds = per_iter_bytes * (pct / hbm_gbps + (1.0 - pct) / uvm_gbps);
         coverage * cost_seconds * 1e3 // milliseconds
@@ -152,11 +161,11 @@ mod tests {
     fn build_one() -> TableCostModel {
         let model = ModelSpec::small(3, 6);
         let profile = DatasetProfiler::profile_model(&model, 3_000, 2);
-        let system = SystemSpec::uniform(2, 1 << 30, 1 << 34, 1555.0, 16.0);
+        let device = DeviceClass::new("gpu", 1 << 30, 1 << 34, 1555.0, 16.0);
         TableCostModel::build(
             0,
             &profile.profiles()[0],
-            &system,
+            &device,
             256,
             &RecShardConfig::default(),
         )
@@ -193,14 +202,14 @@ mod tests {
     fn ablation_switches_change_costs() {
         let model = ModelSpec::small(3, 6);
         let profile = DatasetProfiler::profile_model(&model, 3_000, 2);
-        let system = SystemSpec::uniform(2, 1 << 30, 1 << 34, 1555.0, 16.0);
+        let device = DeviceClass::new("gpu", 1 << 30, 1 << 34, 1555.0, 16.0);
         let p = &profile.profiles()[0];
-        let full = TableCostModel::build(0, p, &system, 256, &RecShardConfig::default());
+        let full = TableCostModel::build(0, p, &device, 256, &RecShardConfig::default());
         let no_pool = RecShardConfig {
             use_pooling: false,
             ..RecShardConfig::default()
         };
-        let ablated = TableCostModel::build(0, p, &system, 256, &no_pool);
+        let ablated = TableCostModel::build(0, p, &device, 256, &no_pool);
         if p.avg_pooling > 1.5 {
             assert!(ablated.min_option().weighted_cost < full.min_option().weighted_cost);
         }

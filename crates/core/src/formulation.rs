@@ -73,21 +73,32 @@ impl MilpFormulation {
             )));
         }
         let num_tables = model.num_features();
-        let num_gpus = system.num_gpus;
+        let num_gpus = system.num_gpus();
         let steps = self.config.icdf_steps;
         let batch = model.batch_size();
 
-        let costs: Vec<TableCostModel> = profile
-            .profiles()
+        // One cost menu per (device class, table): GPU `m`'s cost rows are
+        // priced under its own class's bandwidths. Menu geometry (bytes per
+        // step) is class-invariant, so the reference class's menus describe
+        // the split shapes for everyone.
+        let costs_by_class: Vec<Vec<TableCostModel>> = system
+            .classes()
             .iter()
-            .enumerate()
-            .map(|(t, p)| TableCostModel::build(t, p, system, batch, &self.config))
+            .map(|device| {
+                profile
+                    .profiles()
+                    .iter()
+                    .enumerate()
+                    .map(|(t, p)| TableCostModel::build(t, p, device, batch, &self.config))
+                    .collect()
+            })
             .collect();
+        let costs: &Vec<TableCostModel> = &costs_by_class[0];
 
         // Normalise coefficient magnitudes so the Big-M simplex stays well
         // conditioned: memory constraints are expressed relative to the
         // largest per-option HBM footprint and costs relative to the largest
-        // per-option weighted cost.
+        // per-option weighted cost (over every device class).
         let mem_scale = 1.0
             / costs
                 .iter()
@@ -95,8 +106,9 @@ impl MilpFormulation {
                 .map(|o| o.hbm_bytes.max(o.uvm_bytes) as f64)
                 .fold(1.0f64, f64::max);
         let cost_scale = 1.0
-            / costs
+            / costs_by_class
                 .iter()
+                .flat_map(|menus| menus.iter())
                 .flat_map(|c| c.options.iter())
                 .map(|o| o.weighted_cost)
                 .fold(1e-12f64, f64::max);
@@ -183,7 +195,7 @@ impl MilpFormulation {
                 format!("hbm_cap_{m}"),
                 terms,
                 ConstraintSense::Le,
-                system.hbm_capacity_per_gpu as f64 * mem_scale,
+                system.hbm_capacity(m) as f64 * mem_scale,
             );
         }
         // Constraint 10: per-GPU host DRAM capacity for the UVM remainder.
@@ -201,7 +213,7 @@ impl MilpFormulation {
                 format!("dram_cap_{m}"),
                 terms,
                 ConstraintSense::Le,
-                system.dram_capacity_per_gpu as f64 * mem_scale,
+                system.dram_capacity(m) as f64 * mem_scale,
             );
         }
         // Constraints 11+12+1: per-GPU coverage-weighted cost <= C. The C
@@ -209,10 +221,11 @@ impl MilpFormulation {
         // must be divided by `cost_scale` to recover milliseconds (see
         // `optimal_objective`).
         for m in 0..num_gpus {
+            let menus = &costs_by_class[system.class_of(m)];
             let mut terms = Vec::new();
             for j in 0..num_tables {
                 for i in 0..=steps {
-                    let cost = costs[j].options[i].weighted_cost * cost_scale;
+                    let cost = menus[j].options[i].weighted_cost * cost_scale;
                     if cost != 0.0 {
                         terms.push((y[m][j][i], cost));
                     }
@@ -222,6 +235,10 @@ impl MilpFormulation {
             milp.add_constraint(format!("cost_{m}"), terms, ConstraintSense::Le, 0.0);
         }
 
+        let costs = costs_by_class
+            .into_iter()
+            .next()
+            .expect("at least one device class");
         Ok((
             milp,
             MilpVariables {
@@ -256,11 +273,16 @@ impl MilpFormulation {
     /// Like [`solve`](Self::solve) with explicit branch-and-bound options
     /// (e.g. warm starts disabled, to cross-check the warm-start path).
     ///
-    /// The decoded plan's GPU labels are *canonicalised* (GPUs renumbered in
-    /// order of first table ownership): the system is homogeneous, so the
-    /// MILP's optimum set is closed under GPU permutation, and canonical
-    /// labels make equally-optimal symmetric solutions decode to the
-    /// identical plan — warm- and cold-started solves compare equal.
+    /// The decoded plan's GPU labels are *canonicalised*: within each device
+    /// class, GPUs are renumbered onto that class's sorted id list in order
+    /// of first table ownership. The MILP's optimum set is closed under
+    /// permutations of *identical* GPUs only, so symmetry breaking is
+    /// restricted to those within-class permutation groups — relabelling
+    /// never moves a table onto a GPU with different capacities or
+    /// bandwidths, and equally-optimal symmetric solutions still decode to
+    /// the identical plan (warm- and cold-started solves compare equal). On
+    /// a uniform cluster there is one class covering every GPU, reproducing
+    /// the historical global renumbering exactly.
     ///
     /// # Errors
     ///
@@ -275,12 +297,17 @@ impl MilpFormulation {
         let (milp, vars, costs) = self.build(model, profile, system)?;
         let solution = milp.solve_with(options)?;
         let num_tables = model.num_features();
-        let num_gpus = system.num_gpus;
+        let num_gpus = system.num_gpus();
         let steps = self.config.icdf_steps;
 
         let mut placements = Vec::with_capacity(num_tables);
+        // Within-class canonical relabelling: each class hands out its own
+        // sorted GPU ids in order of first table ownership.
         let mut canonical_of = vec![usize::MAX; num_gpus];
-        let mut next_label = 0usize;
+        let class_ids: Vec<Vec<usize>> = (0..system.num_classes())
+            .map(|c| system.gpus_in_class(c))
+            .collect();
+        let mut next_in_class = vec![0usize; system.num_classes()];
         for (j, spec) in model.features().iter().enumerate() {
             let gpu = (0..num_gpus)
                 .max_by(|&a, &b| {
@@ -291,8 +318,9 @@ impl MilpFormulation {
                 })
                 .expect("at least one GPU");
             if canonical_of[gpu] == usize::MAX {
-                canonical_of[gpu] = next_label;
-                next_label += 1;
+                let class = system.class_of(gpu);
+                canonical_of[gpu] = class_ids[class][next_in_class[class]];
+                next_in_class[class] += 1;
             }
             let step = (0..=steps)
                 .max_by(|&a, &b| {

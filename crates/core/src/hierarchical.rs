@@ -113,23 +113,15 @@ impl HierarchicalSolver {
     ) -> Result<ShardingPlan, RecShardError> {
         assert_eq!(
             self.topology.num_gpus(),
-            system.num_gpus,
+            system.num_gpus(),
             "topology covers {} GPUs but the system has {}",
             self.topology.num_gpus(),
-            system.num_gpus
+            system.num_gpus()
         );
         self.config
             .validate()
             .map_err(RecShardError::InvalidConfig)?;
         let assignment = self.assign_nodes(model, profile, system)?;
-
-        let node_system = SystemSpec::uniform(
-            self.topology.gpus_per_node,
-            system.hbm_capacity_per_gpu,
-            system.dram_capacity_per_gpu,
-            system.hbm_bandwidth_gbps,
-            system.uvm_bandwidth_gbps,
-        );
 
         let mut placements: Vec<Option<TablePlacement>> = vec![None; model.num_features()];
         for node in 0..self.topology.num_nodes {
@@ -137,6 +129,27 @@ impl HierarchicalSolver {
             if tables.is_empty() {
                 continue;
             }
+            // The per-node sub-cluster keeps each local GPU's actual device
+            // class but re-indexes onto the classes actually present on the
+            // node (first-appearance order), so the sub-solve's reference
+            // class is always a local one — a node made entirely of the
+            // slow SKU must not price its phase-1 splits under the fast
+            // SKU's bandwidths. A uniform cluster reproduces the historical
+            // uniform slice exactly.
+            let mut local_of_global: Vec<Option<usize>> = vec![None; system.num_classes()];
+            let mut local_classes = Vec::new();
+            let local_assignment: Vec<usize> = self
+                .topology
+                .gpus_of_node(node)
+                .map(|g| {
+                    let global = system.class_of(g);
+                    *local_of_global[global].get_or_insert_with(|| {
+                        local_classes.push(system.classes()[global]);
+                        local_classes.len() - 1
+                    })
+                })
+                .collect();
+            let node_system = SystemSpec::with_classes(local_classes, local_assignment);
             let (sub_model, sub_profile) = subproblem(model, profile, &tables);
             let sub_plan = if tables.len() <= self.hier.per_node_exact_max_tables {
                 MilpFormulation::new(
@@ -166,7 +179,7 @@ impl HierarchicalSolver {
             .into_iter()
             .map(|p| p.expect("every table placed by its node"))
             .collect();
-        let plan = ShardingPlan::new("recshard-hierarchical", system.num_gpus, placements)
+        let plan = ShardingPlan::new("recshard-hierarchical", system.num_gpus(), placements)
             .with_topology(self.topology);
         debug_assert!(plan.validate(model, system).is_ok());
         Ok(plan)

@@ -5,6 +5,7 @@
 use crate::config::{RecShardConfig, SolverKind};
 use crate::error::RecShardError;
 use crate::formulation::MilpFormulation;
+use crate::scalable::ScalableSolver;
 use crate::solver::StructuredSolver;
 use recshard_data::{ModelSpec, SampleGenerator};
 use recshard_des::{
@@ -79,6 +80,31 @@ impl RecShard {
             SolverKind::ExactMilp => {
                 MilpFormulation::new(self.config).solve(model, profile, system)
             }
+            SolverKind::Scalable => ScalableSolver::new(self.config).solve(model, profile, system),
+        }
+    }
+
+    /// Like [`plan`](Self::plan), warm-started from a previous plan when the
+    /// configured solver supports it. The scalable solver seeds its
+    /// assignment from `previous` and gates the result against a cold solve
+    /// (never worse); the other solvers ignore the seed. This is the re-solve
+    /// entry point the online re-sharding controller drives on drift events.
+    ///
+    /// # Errors
+    ///
+    /// See [`RecShardError`].
+    pub fn plan_seeded(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        previous: Option<&ShardingPlan>,
+    ) -> Result<ShardingPlan, RecShardError> {
+        match (self.config.solver, previous) {
+            (SolverKind::Scalable, Some(prev)) => {
+                ScalableSolver::new(self.config).solve_seeded(model, profile, system, prev)
+            }
+            _ => self.plan(model, profile, system),
         }
     }
 
@@ -131,8 +157,10 @@ impl RecShard {
     ) -> Result<RunSummary, RecShardError> {
         let plan = self.plan(model, profile, system)?;
         let resolver = self.clone();
-        let controller =
-            ReshardController::new(policy, Box::new(move |m, p, s| resolver.plan(m, p, s).ok()));
+        let controller = ReshardController::new(
+            policy,
+            Box::new(move |m, p, s, prev| resolver.plan_seeded(m, p, s, prev).ok()),
+        );
         Ok(ClusterSimulator::new(model, &plan, profile, system, config)
             .with_drift(drift)
             .with_controller(controller)
@@ -292,6 +320,51 @@ mod tests {
         // The controller may or may not fire on this workload; either way the
         // run must drain and stay internally consistent.
         assert!(summary.p95_ms >= summary.p50_ms);
+    }
+
+    #[test]
+    fn resharding_with_scalable_solver_warm_starts_deterministically() {
+        // The scalable solver is the warm-startable one: the controller's
+        // re-solves seed from the installed plan (and gate against cold), so
+        // the run must stay deterministic and drain exactly like any other.
+        let model = ModelSpec::small(6, 19);
+        let system = SystemSpec::uniform(
+            2,
+            model.total_bytes() / 6,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let profile = recshard_stats::DatasetProfiler::profile_model(&model, 1_000, 5);
+        let config = recshard_des::ClusterConfig {
+            iterations: 200,
+            batch_size: 32,
+            ..recshard_des::ClusterConfig::default()
+        };
+        let drift = recshard_des::DriftSchedule::paper_like(20);
+        let policy = recshard_des::ReshardPolicy {
+            check_every_iterations: 50,
+            imbalance_threshold: 1.05,
+            ..recshard_des::ReshardPolicy::default()
+        };
+        let sharder = RecShard::new(RecShardConfig::default().with_scalable());
+        let run = || {
+            sharder
+                .simulate_cluster_with_resharding(
+                    &model,
+                    &profile,
+                    &system,
+                    config,
+                    drift.clone(),
+                    policy,
+                )
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "warm-started re-solves must stay deterministic");
+        assert_eq!(a.completed, 200);
+        assert_eq!(a.strategy, "recshard-scalable");
     }
 
     #[test]

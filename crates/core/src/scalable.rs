@@ -23,6 +23,7 @@ use crate::bucketing::{BucketingConfig, TableBuckets};
 use crate::config::RecShardConfig;
 use crate::cost::TableCostModel;
 use crate::error::RecShardError;
+use crate::solver::StructuredSolver;
 use recshard_data::ModelSpec;
 use recshard_sharding::{ShardingPlan, SystemSpec, TablePlacement};
 use recshard_stats::DatasetProfile;
@@ -76,6 +77,56 @@ impl ScalableSolver {
         Ok(self.solve_report(model, profile, system)?.plan)
     }
 
+    /// Re-solves after a drift/re-sharding event, warm-started from the
+    /// previous plan: phase-2 assignment first tries to keep every table on
+    /// its previous GPU (minimising migration churn), and the usual
+    /// bottleneck local search then only moves tables when that strictly
+    /// improves the max per-GPU cost. The result is *gated* against a cold
+    /// solve on the exact objective ([`StructuredSolver::gpu_costs_exact`]):
+    /// the returned plan is never costlier than the cold re-solve, and on
+    /// ties the warm (migration-friendly) plan wins.
+    ///
+    /// A `previous` plan whose GPU count or table count no longer matches
+    /// the inputs is ignored (plain cold solve).
+    ///
+    /// # Errors
+    ///
+    /// As [`StructuredSolver::solve`](crate::solver::StructuredSolver::solve).
+    pub fn solve_seeded(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        previous: &ShardingPlan,
+    ) -> Result<ShardingPlan, RecShardError> {
+        let cold = self.solve_report_impl(model, profile, system, None)?;
+        if previous.num_gpus() != system.num_gpus()
+            || previous.placements().len() != model.num_features()
+        {
+            return Ok(cold.plan);
+        }
+        let seed = previous.gpu_assignments();
+        // A seed can wedge the packing (pinning large tables to their old
+        // GPUs may leave a later table nowhere to go); the cold plan in
+        // hand is feasible, so an infeasible warm attempt falls back to it
+        // rather than failing the re-solve.
+        let Ok(warm) = self.solve_report_impl(model, profile, system, Some(&seed)) else {
+            return Ok(cold.plan);
+        };
+        let evaluator = StructuredSolver::new(self.config);
+        let max_cost = |plan: &ShardingPlan| {
+            evaluator
+                .gpu_costs_exact(model, profile, system, plan)
+                .into_iter()
+                .fold(0.0f64, f64::max)
+        };
+        if max_cost(&warm.plan) <= max_cost(&cold.plan) * (1.0 + 1e-9) {
+            Ok(warm.plan)
+        } else {
+            Ok(cold.plan)
+        }
+    }
+
     /// Produces a placement plan plus bucketing statistics.
     ///
     /// # Errors
@@ -86,6 +137,16 @@ impl ScalableSolver {
         model: &ModelSpec,
         profile: &DatasetProfile,
         system: &SystemSpec,
+    ) -> Result<ScalableSolveReport, RecShardError> {
+        self.solve_report_impl(model, profile, system, None)
+    }
+
+    fn solve_report_impl(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        seed_assignment: Option<&[usize]>,
     ) -> Result<ScalableSolveReport, RecShardError> {
         self.config
             .validate()
@@ -106,7 +167,14 @@ impl ScalableSolver {
 
         let batch = model.batch_size();
         let buckets = TableBuckets::build(model, profile, &self.bucketing);
-        // One cost menu per bucket representative.
+        // One cost menu per bucket representative, built against the
+        // cluster's reference class (class 0): phase-1 split selection needs
+        // a single shared price per downgrade. Per-GPU costs during
+        // assignment and refinement are charged under the owning GPU's own
+        // device class (see `true_cost_at`), so heterogeneity only ever
+        // sharpens the balancing — on a uniform cluster the reference class
+        // is the only class and behaviour is bit-identical to before.
+        let reference = *system.reference_class();
         let menus: Vec<TableCostModel> = buckets
             .buckets()
             .iter()
@@ -114,7 +182,7 @@ impl ScalableSolver {
                 TableCostModel::build(
                     b.representative,
                     &profile.profiles()[b.representative],
-                    system,
+                    &reference,
                     batch,
                     &self.config,
                 )
@@ -216,24 +284,37 @@ impl ScalableSolver {
         // its current step is computed exactly from its own CDF — an O(1)
         // indexed lookup — so balancing never pays the merge tolerance.
         let mut step: Vec<usize> = (0..num_tables).map(|t| bucket_step[menu_of[t]]).collect();
-        let true_cost_at = |t: usize, hbm_rows: u64| -> f64 {
+        // Exact per-member cost of a split under one GPU's device class.
+        let true_cost_on = |t: usize, hbm_rows: u64, gpu: usize| -> f64 {
             TableCostModel::weighted_cost_at(
                 &profile.profiles()[t],
-                system,
+                system.device(gpu),
                 batch,
                 &self.config,
                 hbm_rows,
             )
         };
+        // Reference-class cost, used before a table has an owner (LPT order).
+        let true_cost_at = |t: usize, hbm_rows: u64| -> f64 {
+            TableCostModel::weighted_cost_at(
+                &profile.profiles()[t],
+                &reference,
+                batch,
+                &self.config,
+                hbm_rows,
+            )
+        };
+        // `cost_of[t]` is the cost of `t` at its current split under its
+        // *current owner's* class once assigned (reference class before).
         let mut cost_of: Vec<f64> = (0..num_tables)
             .map(|t| true_cost_at(t, menus[menu_of[t]].options[step[t]].hbm_rows))
             .collect();
 
         // ---- Phase 2: min-max assignment (LPT + capacity) ----
-        let m = system.num_gpus;
+        let m = system.num_gpus();
         let mut gpu_cost = vec![0.0f64; m];
-        let mut hbm_free = vec![system.hbm_capacity_per_gpu; m];
-        let mut dram_free = vec![system.dram_capacity_per_gpu; m];
+        let mut hbm_free: Vec<u64> = (0..m).map(|g| system.hbm_capacity(g)).collect();
+        let mut dram_free: Vec<u64> = (0..m).map(|g| system.dram_capacity(g)).collect();
         let mut assignment: Vec<Option<usize>> = vec![None; num_tables];
 
         let mut order: Vec<usize> = (0..num_tables).collect();
@@ -245,6 +326,21 @@ impl ScalableSolver {
         });
 
         for &t in &order {
+            // Warm start: keep the table on its previous GPU when it still
+            // fits there at the current split; the gated local search below
+            // moves it only if that strictly improves the bottleneck.
+            if let Some(seed) = seed_assignment {
+                let g = seed[t];
+                let opt = &menus[menu_of[t]].options[step[t]];
+                if hbm_free[g] >= opt.hbm_bytes && dram_free[g] >= opt.uvm_bytes {
+                    hbm_free[g] -= opt.hbm_bytes;
+                    dram_free[g] -= opt.uvm_bytes;
+                    cost_of[t] = true_cost_on(t, opt.hbm_rows, g);
+                    gpu_cost[g] += cost_of[t];
+                    assignment[t] = Some(g);
+                    continue;
+                }
+            }
             loop {
                 let opt = &menus[menu_of[t]].options[step[t]];
                 let candidate = (0..m)
@@ -258,6 +354,7 @@ impl ScalableSolver {
                 if let Some(g) = candidate {
                     hbm_free[g] -= opt.hbm_bytes;
                     dram_free[g] -= opt.uvm_bytes;
+                    cost_of[t] = true_cost_on(t, opt.hbm_rows, g);
                     gpu_cost[g] += cost_of[t];
                     assignment[t] = Some(g);
                     break;
@@ -319,7 +416,7 @@ impl ScalableSolver {
                             continue;
                         }
                         let s = hi - 1;
-                        let moved_cost = true_cost_at(t, menu.options[s].hbm_rows);
+                        let moved_cost = true_cost_on(t, menu.options[s].hbm_rows, g);
                         let new_src = gpu_cost[bottleneck] - cost_of[t];
                         let new_dst = gpu_cost[g] + moved_cost;
                         let new_max = (0..m)
@@ -381,9 +478,15 @@ impl ScalableSolver {
                             if !hbm_ok || !dram_ok {
                                 continue;
                             }
-                            let delta = cost_of[t1] - cost_of[t2];
-                            let new_src = gpu_cost[bottleneck] - delta;
-                            let new_dst = gpu_cost[g] + delta;
+                            // Each side's delta is priced under its own
+                            // class; on a uniform cluster both reduce to the
+                            // historical `cost_of[t1] - cost_of[t2]`.
+                            let t2_on_src = true_cost_on(t2, o2.hbm_rows, bottleneck);
+                            let t1_on_dst = true_cost_on(t1, o1.hbm_rows, g);
+                            let delta_src = cost_of[t1] - t2_on_src;
+                            let delta_dst = t1_on_dst - cost_of[t2];
+                            let new_src = gpu_cost[bottleneck] - delta_src;
+                            let new_dst = gpu_cost[g] + delta_dst;
                             if new_src.max(new_dst) + 1e-12 >= gpu_cost[bottleneck] {
                                 continue;
                             }
@@ -395,6 +498,8 @@ impl ScalableSolver {
                             dram_free[g] = dram_free[g] + o2.uvm_bytes - o1.uvm_bytes;
                             gpu_cost[bottleneck] = new_src;
                             gpu_cost[g] = new_dst;
+                            cost_of[t1] = t1_on_dst;
+                            cost_of[t2] = t2_on_src;
                             assignment[t1] = Some(g);
                             assignment[t2] = Some(bottleneck);
                             improved = true;
@@ -426,7 +531,7 @@ impl ScalableSolver {
                             if extra > hbm_free[g] {
                                 break;
                             }
-                            let gain = cost_of[t] - true_cost_at(t, cand.hbm_rows);
+                            let gain = cost_of[t] - true_cost_on(t, cand.hbm_rows, g);
                             if gain > 1e-15 && best.map(|(_, _, bg, _)| gain > bg).unwrap_or(true) {
                                 best = Some((t, s, gain, extra));
                             }
@@ -570,5 +675,97 @@ mod tests {
             ScalableSolver::new(RecShardConfig::default()).solve(&model, &profile, &system),
             Err(RecShardError::CapacityExceeded { .. })
         ));
+    }
+
+    /// Warm-started re-solves across seeded drift traces are never costlier
+    /// than a cold re-solve (the gate guarantees it), stay valid, and keep
+    /// at least as many tables on their previous GPUs as the cold path —
+    /// the whole point of carrying the assignment across re-sharding events.
+    #[test]
+    fn warm_start_no_worse_than_cold_on_seeded_drift_traces() {
+        use recshard_data::DriftModel;
+        for seed in [3u64, 11, 29] {
+            let (model, profile) = setup(12, seed);
+            let system = SystemSpec::uniform(
+                2,
+                model.total_bytes() / 6,
+                model.total_bytes(),
+                1555.0,
+                16.0,
+            );
+            let solver = ScalableSolver::new(RecShardConfig::default());
+            let evaluator = StructuredSolver::new(RecShardConfig::default());
+            let mut previous = solver.solve(&model, &profile, &system).unwrap();
+
+            let drift = DriftModel::paper_like();
+            for month in [2u32, drift.months()] {
+                let drifted = drift.model_at_month(&model, month);
+                let drifted_profile =
+                    recshard_stats::DatasetProfiler::profile_model(&drifted, 2_000, seed ^ 0xD81F7);
+
+                let warm = solver
+                    .solve_seeded(&drifted, &drifted_profile, &system, &previous)
+                    .unwrap();
+                let cold = solver.solve(&drifted, &drifted_profile, &system).unwrap();
+                warm.validate(&drifted, &system).unwrap();
+
+                let max_cost = |plan: &ShardingPlan| {
+                    evaluator
+                        .gpu_costs_exact(&drifted, &drifted_profile, &system, plan)
+                        .into_iter()
+                        .fold(0.0f64, f64::max)
+                };
+                assert!(
+                    max_cost(&warm) <= max_cost(&cold) * (1.0 + 1e-9),
+                    "seed {seed} month {month}: warm re-solve must not lose to cold \
+                     ({} vs {})",
+                    max_cost(&warm),
+                    max_cost(&cold)
+                );
+
+                let moved = |plan: &ShardingPlan| {
+                    plan.placements()
+                        .iter()
+                        .zip(previous.placements())
+                        .filter(|(a, b)| a.gpu != b.gpu)
+                        .count()
+                };
+                assert!(
+                    moved(&warm) <= moved(&cold),
+                    "seed {seed} month {month}: warm start must not migrate more tables \
+                     than cold ({} vs {})",
+                    moved(&warm),
+                    moved(&cold)
+                );
+                previous = warm;
+            }
+        }
+    }
+
+    /// A stale seed (wrong GPU count) is ignored rather than crashing.
+    #[test]
+    fn mismatched_seed_falls_back_to_cold() {
+        let (model, profile) = setup(8, 17);
+        let system = SystemSpec::uniform(
+            2,
+            model.total_bytes() / 4,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let four_gpu = SystemSpec::uniform(
+            4,
+            model.total_bytes() / 4,
+            model.total_bytes(),
+            1555.0,
+            16.0,
+        );
+        let solver = ScalableSolver::new(RecShardConfig::default());
+        let stale = solver.solve(&model, &profile, &four_gpu).unwrap();
+        let warm = solver
+            .solve_seeded(&model, &profile, &system, &stale)
+            .unwrap();
+        let cold = solver.solve(&model, &profile, &system).unwrap();
+        assert_eq!(warm, cold);
     }
 }

@@ -13,7 +13,11 @@
 //!    knapsack / Lagrangian relaxation of the split-selection subproblem).
 //! 2. **Assignment** — Longest-Processing-Time greedy onto the GPU with the
 //!    lowest accumulated cost that still has capacity, followed by
-//!    move/swap local search focused on the bottleneck GPU.
+//!    move/swap local search focused on the bottleneck GPU. On a
+//!    heterogeneous [`ClusterSpec`](recshard_sharding::ClusterSpec) every
+//!    GPU is charged the cost of the table under *its own* device class's
+//!    bandwidths and checked against its own capacities, so fast
+//!    big-memory GPUs naturally attract more (and hotter) tables.
 //! 3. **Backfill** — any HBM left free on a GPU after assignment is used to
 //!    upgrade the splits of that GPU's own tables, cheapest-gain first.
 //!
@@ -77,12 +81,22 @@ impl StructuredSolver {
         }
 
         let batch = model.batch_size();
-        let costs: Vec<TableCostModel> = profile
-            .profiles()
+        // One cost menu per (device class, table). Menu geometry (row counts
+        // and bytes per step) is class-invariant; only the costs differ.
+        // Class 0 is the reference class phase 1 selects splits against.
+        let class_menus: Vec<Vec<TableCostModel>> = system
+            .classes()
             .iter()
-            .enumerate()
-            .map(|(t, p)| TableCostModel::build(t, p, system, batch, &self.config))
+            .map(|device| {
+                profile
+                    .profiles()
+                    .iter()
+                    .enumerate()
+                    .map(|(t, p)| TableCostModel::build(t, p, device, batch, &self.config))
+                    .collect()
+            })
             .collect();
+        let costs: &[TableCostModel] = &class_menus[0];
 
         // ---- Phase 1: split selection against the aggregate HBM budget ----
         let budget = (system.total_hbm_capacity() as f64 * (1.0 - self.config.hbm_slack)) as u64;
@@ -147,7 +161,7 @@ impl StructuredSolver {
 
         let mut heap: BinaryHeap<Downgrade> = BinaryHeap::new();
         for t in 0..costs.len() {
-            if let Some(d) = downgrade_of(&costs, t, states[t].step) {
+            if let Some(d) = downgrade_of(costs, t, states[t].step) {
                 heap.push(d);
             }
         }
@@ -168,17 +182,23 @@ impl StructuredSolver {
             let freed = cur_bytes - costs[d.table].options[to].hbm_bytes;
             states[d.table].step = to;
             hbm_demand -= freed;
-            if let Some(next) = downgrade_of(&costs, d.table, to) {
+            if let Some(next) = downgrade_of(costs, d.table, to) {
                 heap.push(next);
             }
         }
 
         // ---- Phase 2: min-max assignment (LPT + capacity) ----
-        let m = system.num_gpus;
+        let m = system.num_gpus();
         let mut gpu_cost = vec![0.0f64; m];
-        let mut hbm_free = vec![system.hbm_capacity_per_gpu; m];
-        let mut dram_free = vec![system.dram_capacity_per_gpu; m];
+        let mut hbm_free: Vec<u64> = (0..m).map(|g| system.hbm_capacity(g)).collect();
+        let mut dram_free: Vec<u64> = (0..m).map(|g| system.dram_capacity(g)).collect();
         let mut assignment: Vec<Option<usize>> = vec![None; costs.len()];
+        // The cost of table `t` at split step `s` when owned by GPU `g` —
+        // charged under g's device class (for a uniform cluster this is
+        // exactly the single shared menu).
+        let cost_on = |t: usize, s: usize, g: usize| {
+            class_menus[system.class_of(g)][t].options[s].weighted_cost
+        };
 
         let mut order: Vec<usize> = (0..costs.len()).collect();
         order.sort_by(|&a, &b| {
@@ -205,7 +225,7 @@ impl StructuredSolver {
                 if let Some(g) = candidate {
                     hbm_free[g] -= opt.hbm_bytes;
                     dram_free[g] -= opt.uvm_bytes;
-                    gpu_cost[g] += opt.weighted_cost;
+                    gpu_cost[g] += cost_on(t, states[t].step, g);
                     assignment[t] = Some(g);
                     break;
                 }
@@ -234,6 +254,7 @@ impl StructuredSolver {
                 .collect();
             for &t in &tables_on_bottleneck {
                 let opt = &costs[t].options[states[t].step];
+                let src_cost = cost_on(t, states[t].step, bottleneck);
                 // Try moving table t to the GPU that minimises the new max cost.
                 let mut best: Option<(usize, f64)> = None;
                 for g in 0..m {
@@ -243,8 +264,8 @@ impl StructuredSolver {
                     {
                         continue;
                     }
-                    let new_src = gpu_cost[bottleneck] - opt.weighted_cost;
-                    let new_dst = gpu_cost[g] + opt.weighted_cost;
+                    let new_src = gpu_cost[bottleneck] - src_cost;
+                    let new_dst = gpu_cost[g] + cost_on(t, states[t].step, g);
                     let new_max = (0..m)
                         .map(|x| {
                             if x == bottleneck {
@@ -267,8 +288,8 @@ impl StructuredSolver {
                     dram_free[bottleneck] += opt.uvm_bytes;
                     hbm_free[g] -= opt.hbm_bytes;
                     dram_free[g] -= opt.uvm_bytes;
-                    gpu_cost[bottleneck] -= opt.weighted_cost;
-                    gpu_cost[g] += opt.weighted_cost;
+                    gpu_cost[bottleneck] -= src_cost;
+                    gpu_cost[g] += cost_on(t, states[t].step, g);
                     assignment[t] = Some(g);
                     improved = true;
                 }
@@ -280,16 +301,18 @@ impl StructuredSolver {
 
         // ---- Phase 3b: backfill leftover per-GPU HBM by upgrading splits ----
         for g in 0..m {
+            let menus = &class_menus[system.class_of(g)];
             loop {
-                // Pick the upgrade with the largest cost reduction that fits.
+                // Pick the upgrade with the largest cost reduction that fits
+                // (gains charged under this GPU's device class).
                 let mut best: Option<(usize, usize, f64, u64)> = None; // (table, new_step, gain, extra_bytes)
-                for t in 0..costs.len() {
+                for t in 0..menus.len() {
                     if assignment[t] != Some(g) {
                         continue;
                     }
-                    let cur = &costs[t].options[states[t].step];
-                    for step in (states[t].step + 1)..costs[t].options.len() {
-                        let cand = &costs[t].options[step];
+                    let cur = &menus[t].options[states[t].step];
+                    for step in (states[t].step + 1)..menus[t].options.len() {
+                        let cand = &menus[t].options[step];
                         let extra = cand.hbm_bytes.saturating_sub(cur.hbm_bytes);
                         if extra > hbm_free[g] {
                             break;
@@ -306,9 +329,9 @@ impl StructuredSolver {
                 let _ = gain;
                 hbm_free[g] -= extra;
                 dram_free[g] +=
-                    costs[t].options[states[t].step].uvm_bytes - costs[t].options[step].uvm_bytes;
-                gpu_cost[g] -= costs[t].options[states[t].step].weighted_cost
-                    - costs[t].options[step].weighted_cost;
+                    menus[t].options[states[t].step].uvm_bytes - menus[t].options[step].uvm_bytes;
+                gpu_cost[g] -= menus[t].options[states[t].step].weighted_cost
+                    - menus[t].options[step].weighted_cost;
                 states[t].step = step;
             }
         }
@@ -353,7 +376,7 @@ impl StructuredSolver {
         for (t, p) in plan.placements().iter().enumerate() {
             gpu_cost[p.gpu] += TableCostModel::weighted_cost_at(
                 &profile.profiles()[t],
-                system,
+                system.device(p.gpu),
                 batch,
                 &self.config,
                 p.hbm_rows,
@@ -374,7 +397,13 @@ impl StructuredSolver {
         let batch = model.batch_size();
         let mut gpu_cost = vec![0.0f64; plan.num_gpus()];
         for (t, p) in plan.placements().iter().enumerate() {
-            let cm = TableCostModel::build(t, &profile.profiles()[t], system, batch, &self.config);
+            let cm = TableCostModel::build(
+                t,
+                &profile.profiles()[t],
+                system.device(p.gpu),
+                batch,
+                &self.config,
+            );
             // Use the most generous option that does not exceed the plan's
             // HBM row budget for this table (conservative cost estimate).
             let opt = cm
@@ -432,8 +461,8 @@ mod tests {
         plan.validate(&model, &system).unwrap();
         assert!(plan.total_uvm_rows() > 0);
         // HBM usage never exceeds per-GPU capacity (validate also checks this).
-        for &bytes in &plan.hbm_bytes_per_gpu() {
-            assert!(bytes <= system.hbm_capacity_per_gpu);
+        for (g, &bytes) in plan.hbm_bytes_per_gpu().iter().enumerate() {
+            assert!(bytes <= system.hbm_capacity(g));
         }
     }
 

@@ -15,7 +15,7 @@ use recshard_stats::{DatasetProfile, DatasetProfiler};
 /// capacities enforced, objective = max per-GPU cost sum. `None` when no
 /// combination is feasible.
 fn brute_force_optimum(costs: &[TableCostModel], system: &SystemSpec) -> Option<f64> {
-    let m = system.num_gpus;
+    let m = system.num_gpus();
     let mut best: Option<f64> = None;
     // Mixed-radix counter over (gpu, step) per table.
     let radices: Vec<(usize, usize)> = costs.iter().map(|c| (m, c.options.len())).collect();
@@ -34,7 +34,7 @@ fn brute_force_optimum(costs: &[TableCostModel], system: &SystemSpec) -> Option<
             hbm[gpu] += opt.hbm_bytes;
             dram[gpu] += opt.uvm_bytes;
             cost[gpu] += opt.weighted_cost;
-            if hbm[gpu] > system.hbm_capacity_per_gpu || dram[gpu] > system.dram_capacity_per_gpu {
+            if hbm[gpu] > system.hbm_capacity(gpu) || dram[gpu] > system.dram_capacity(gpu) {
                 feasible = false;
                 break;
             }

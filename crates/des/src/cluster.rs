@@ -227,14 +227,14 @@ impl ClusterSimulator {
         );
         assert_eq!(
             plan.num_gpus(),
-            system.num_gpus,
+            system.num_gpus(),
             "plan/system GPU count mismatch"
         );
         let workload = IterationWorkload::new(model, plan, profile);
         let num_gpus = plan.num_gpus();
         Self {
             config,
-            system: *system,
+            system: system.clone(),
             base_model: model.clone(),
             strategy: plan.strategy().to_string(),
             tables_per_gpu: workload.tables_per_gpu(),
@@ -279,7 +279,7 @@ impl ClusterSimulator {
         system: &SystemSpec,
         config: &ClusterConfig,
     ) -> u64 {
-        let g = system.num_gpus as f64;
+        let g = system.num_gpus() as f64;
         let effective_batch = config
             .scale_to_batch
             .map(|b| b as f64)
@@ -306,8 +306,8 @@ impl ClusterSimulator {
             .unwrap_or(1.0)
             .max(1.0);
         let scaled = counters.scaled(scale);
-        let hbm_s = scaled.hbm_bytes as f64 / (self.system.hbm_bandwidth_gbps * 1e9);
-        let uvm_s = scaled.uvm_bytes as f64 / (self.system.uvm_bandwidth_gbps * 1e9);
+        let hbm_s = scaled.hbm_bytes as f64 / (self.system.hbm_bandwidth_gbps(gpu) * 1e9);
+        let uvm_s = scaled.uvm_bytes as f64 / (self.system.uvm_bandwidth_gbps(gpu) * 1e9);
         let overhead_s =
             self.tables_per_gpu[gpu] as f64 * self.config.kernel_overhead_us_per_table * 1e-6;
         ServiceDemand {

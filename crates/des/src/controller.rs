@@ -80,9 +80,13 @@ impl Default for ReshardPolicy {
 }
 
 /// Callback that solves for a new plan given the freshly profiled (possibly
-/// drifted) workload. Returning `None` keeps the current plan (e.g. when the
-/// solver deems the system infeasible).
-pub type PlanSolver = dyn Fn(&ModelSpec, &DatasetProfile, &SystemSpec) -> Option<ShardingPlan>;
+/// drifted) workload. The fourth argument is the *currently installed* plan,
+/// so warm-startable solvers can seed the re-solve from it (carrying the
+/// previous assignment into the new plan keeps migrations small). Returning
+/// `None` keeps the current plan (e.g. when the solver deems the system
+/// infeasible).
+pub type PlanSolver =
+    dyn Fn(&ModelSpec, &DatasetProfile, &SystemSpec, Option<&ShardingPlan>) -> Option<ShardingPlan>;
 
 /// The controller: drift-aware imbalance watchdog plus plan-swap machinery.
 pub struct ReshardController {
@@ -191,7 +195,7 @@ impl ReshardController {
             self.policy.profile_samples,
             self.policy.profile_seed ^ self.reshard_count as u64,
         );
-        let Some(plan) = (self.solver)(model, &profile, system) else {
+        let Some(plan) = (self.solver)(model, &profile, system, Some(current_plan)) else {
             return CheckOutcome::Balanced { imbalance };
         };
         if plan.placements() == current_plan.placements() {
@@ -233,7 +237,7 @@ mod tests {
     use recshard_stats::DatasetProfiler;
 
     fn greedy_solver() -> Box<PlanSolver> {
-        Box::new(|model, profile, system| {
+        Box::new(|model, profile, system, _prev| {
             GreedySharder::new(SizeCost)
                 .shard(model, profile, system)
                 .ok()
@@ -264,7 +268,7 @@ mod tests {
         let (model, plan, system) = setup();
         // Different cost function ⇒ a different plan, so a fired check swaps.
         let solver: Box<PlanSolver> =
-            Box::new(|m, p, s| GreedySharder::new(LookupCost).shard(m, p, s).ok());
+            Box::new(|m, p, s, _prev| GreedySharder::new(LookupCost).shard(m, p, s).ok());
         let mut c = ReshardController::new(ReshardPolicy::default(), solver);
         let outcome = c.check(&[1_000, 10], &model, &plan, &system);
         match outcome {

@@ -68,8 +68,9 @@ impl<'a> AnalyticalEstimator<'a> {
             let est = &mut per_gpu[placement.gpu];
             est.hbm_accesses += hbm_rows;
             est.uvm_accesses += uvm_rows;
-            est.time_ms += (hbm_rows * row_bytes / (self.system.hbm_bandwidth_gbps * 1e9)
-                + uvm_rows * row_bytes / (self.system.uvm_bandwidth_gbps * 1e9))
+            est.time_ms += (hbm_rows * row_bytes
+                / (self.system.hbm_bandwidth_gbps(placement.gpu) * 1e9)
+                + uvm_rows * row_bytes / (self.system.uvm_bandwidth_gbps(placement.gpu) * 1e9))
                 * 1e3;
         }
         per_gpu

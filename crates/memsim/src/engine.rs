@@ -205,7 +205,7 @@ impl EmbeddingOpSimulator {
         Self {
             model: model.clone(),
             plan: plan.clone(),
-            system: *system,
+            system: system.clone(),
             config,
             remaps,
             value_dists,
@@ -272,6 +272,7 @@ impl EmbeddingOpSimulator {
                 let time_ms = embedding_kernel_time_ms(
                     &scaled,
                     &self.system,
+                    gpu,
                     self.tables_per_gpu[gpu],
                     self.config.kernel_overhead_us_per_table,
                 );

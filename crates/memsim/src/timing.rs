@@ -14,16 +14,18 @@ use recshard_sharding::SystemSpec;
 const BYTES_PER_GB: f64 = 1e9;
 
 /// Time in milliseconds for one GPU's embedding work in one iteration, given
-/// the bytes it pulled from each tier, the system's bandwidths and the number
-/// of embedding tables it executed kernels for.
+/// the bytes it pulled from each tier, *that GPU's* tier bandwidths (on a
+/// heterogeneous cluster each GPU gathers at its own device class's speed)
+/// and the number of embedding tables it executed kernels for.
 pub fn embedding_kernel_time_ms(
     counters: &AccessCounters,
     system: &SystemSpec,
+    gpu: usize,
     tables_on_gpu: usize,
     kernel_overhead_us_per_table: f64,
 ) -> f64 {
-    let hbm_s = counters.hbm_bytes as f64 / (system.hbm_bandwidth_gbps * BYTES_PER_GB);
-    let uvm_s = counters.uvm_bytes as f64 / (system.uvm_bandwidth_gbps * BYTES_PER_GB);
+    let hbm_s = counters.hbm_bytes as f64 / (system.hbm_bandwidth_gbps(gpu) * BYTES_PER_GB);
+    let uvm_s = counters.uvm_bytes as f64 / (system.uvm_bandwidth_gbps(gpu) * BYTES_PER_GB);
     let overhead_s = tables_on_gpu as f64 * kernel_overhead_us_per_table * 1e-6;
     (hbm_s + uvm_s + overhead_s) * 1e3
 }
@@ -40,7 +42,7 @@ mod tests {
     fn hbm_only_time() {
         let mut c = AccessCounters::new();
         c.record_hbm(1_000_000, 1000); // 1 GB
-        let t = embedding_kernel_time_ms(&c, &system(), 0, 0.0);
+        let t = embedding_kernel_time_ms(&c, &system(), 0, 0, 0.0);
         assert!((t - 1.0).abs() < 1e-9, "1 GB at 1000 GB/s = 1 ms, got {t}");
     }
 
@@ -51,9 +53,9 @@ mod tests {
         let mut uvm = AccessCounters::new();
         uvm.record_uvm(1_000_000, 1000);
         let s = system();
-        let t_hbm = embedding_kernel_time_ms(&hbm, &s, 0, 0.0);
-        let t_uvm = embedding_kernel_time_ms(&uvm, &s, 0, 0.0);
-        assert!((t_uvm / t_hbm - s.bandwidth_ratio()).abs() < 1e-6);
+        let t_hbm = embedding_kernel_time_ms(&hbm, &s, 0, 0, 0.0);
+        let t_uvm = embedding_kernel_time_ms(&uvm, &s, 0, 0, 0.0);
+        assert!((t_uvm / t_hbm - s.bandwidth_ratio(0)).abs() < 1e-6);
     }
 
     #[test]
@@ -61,14 +63,14 @@ mod tests {
         let mut c = AccessCounters::new();
         c.record_hbm(500_000, 1000);
         c.record_uvm(500_000, 1000);
-        let t = embedding_kernel_time_ms(&c, &system(), 0, 0.0);
+        let t = embedding_kernel_time_ms(&c, &system(), 0, 0, 0.0);
         assert!((t - (0.5 + 50.0)).abs() < 1e-6);
     }
 
     #[test]
     fn overhead_scales_with_table_count() {
         let c = AccessCounters::new();
-        let t = embedding_kernel_time_ms(&c, &system(), 100, 5.0);
+        let t = embedding_kernel_time_ms(&c, &system(), 0, 100, 5.0);
         assert!((t - 0.5).abs() < 1e-9, "100 tables * 5us = 0.5 ms, got {t}");
     }
 }

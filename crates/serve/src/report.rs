@@ -22,7 +22,9 @@ pub struct ServeReport {
     pub warmup: u32,
     /// Samples per query.
     pub batch_size: usize,
-    /// HBM cache capacity per shard, in bytes.
+    /// Largest HBM cache capacity across shards, in bytes (shards may
+    /// differ on a heterogeneous cluster; uniform clusters report the
+    /// shared per-shard capacity).
     pub capacity_per_shard_bytes: u64,
     /// Measured lookups served from HBM.
     pub hits: u64,

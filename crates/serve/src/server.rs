@@ -138,23 +138,34 @@ impl InferenceServer {
         assert!(config.queries > 0, "must serve at least one query");
         assert_eq!(
             plan.num_gpus(),
-            system.num_gpus,
+            system.num_gpus(),
             "plan/system shard count mismatch"
         );
         let shards = plan.num_gpus();
         let gpu_of = plan.gpu_assignments();
-        let capacity = config
-            .capacity_per_shard
-            .unwrap_or(system.hbm_capacity_per_gpu);
-        let cache_config = CacheConfig::new(capacity).with_stripes(config.stripes);
+        // Each shard's HBM cache is sized to *its* GPU's HBM (per device
+        // class); an explicit `capacity_per_shard` overrides every shard.
+        let capacity_of: Vec<u64> = (0..shards)
+            .map(|gpu| {
+                config
+                    .capacity_per_shard
+                    .unwrap_or_else(|| system.hbm_capacity(gpu))
+            })
+            .collect();
 
         let caches: Vec<ShardedCache> = (0..shards)
-            .map(|gpu| match config.policy {
-                PolicyKind::Lru | PolicyKind::Lfu => ShardedCache::new(config.policy, cache_config),
-                PolicyKind::StatGuided => ShardedCache::with_guide(
-                    StatGuide::for_gpu(gpu, &gpu_of, profile, capacity, &config.stat_guided),
-                    cache_config,
-                ),
+            .map(|gpu| {
+                let capacity = capacity_of[gpu];
+                let cache_config = CacheConfig::new(capacity).with_stripes(config.stripes);
+                match config.policy {
+                    PolicyKind::Lru | PolicyKind::Lfu => {
+                        ShardedCache::new(config.policy, cache_config)
+                    }
+                    PolicyKind::StatGuided => ShardedCache::with_guide(
+                        StatGuide::for_gpu(gpu, &gpu_of, profile, capacity, &config.stat_guided),
+                        cache_config,
+                    ),
+                }
             })
             .collect();
 
@@ -192,11 +203,14 @@ impl InferenceServer {
                 .iter()
                 .zip(&caches)
                 .zip(&hop_of)
-                .map(|((tasks, cache), &hop_ns)| {
+                .enumerate()
+                .map(|(gpu, ((tasks, cache), &hop_ns))| {
                     let arrivals = &stream.arrivals_ns;
                     let row_bytes = &row_bytes;
                     scope.spawn(move || {
-                        Self::run_shard(tasks, cache, arrivals, row_bytes, system, &config, hop_ns)
+                        Self::run_shard(
+                            tasks, cache, arrivals, row_bytes, system, gpu, &config, hop_ns,
+                        )
                     })
                 })
                 .collect();
@@ -205,23 +219,28 @@ impl InferenceServer {
             }
         });
 
-        Self::merge(plan, &stream, &caches, runs, capacity, &config)
+        let reported_capacity = capacity_of.iter().copied().max().unwrap_or(0);
+        Self::merge(plan, &stream, &caches, runs, reported_capacity, &config)
     }
 
     /// One shard's serving loop: FIFO virtual-time queueing over its tasks.
     /// `hop_ns` delays each completion on the fan-in path (remote-node
-    /// shards) without occupying the shard itself.
+    /// shards) without occupying the shard itself. Lookup service times use
+    /// *this shard's* GPU bandwidths (its device class on a heterogeneous
+    /// cluster).
+    #[allow(clippy::too_many_arguments)]
     fn run_shard(
         tasks: &[ShardTask],
         cache: &ShardedCache,
         arrivals_ns: &[u64],
         row_bytes: &[u64],
         system: &SystemSpec,
+        gpu: usize,
         config: &ServeConfig,
         hop_ns: u64,
     ) -> ShardRun {
-        let hbm_ns_per_byte = 1e9 / (system.hbm_bandwidth_gbps * 1e9);
-        let uvm_ns_per_byte = 1e9 / (system.uvm_bandwidth_gbps * 1e9);
+        let hbm_ns_per_byte = 1e9 / (system.hbm_bandwidth_gbps(gpu) * 1e9);
+        let uvm_ns_per_byte = 1e9 / (system.uvm_bandwidth_gbps(gpu) * 1e9);
         // Scratch for counting distinct tables without a per-task set.
         let mut touched_epoch = vec![0u32; row_bytes.len()];
         let mut epoch = 0u32;

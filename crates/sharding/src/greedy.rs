@@ -69,11 +69,15 @@ impl<C: CostFunction> GreedySharder<C> {
         });
 
         // Step II: greedy assignment to the GPU with the lowest accumulated
-        // cost that still has room.
-        let m = system.num_gpus;
+        // cost that still has room. The accumulated cost is *class-blind*
+        // (the production baselines predate heterogeneous fleets and charge
+        // the same fixed table cost on every GPU); only the capacity checks
+        // read per-GPU limits. The class-aware RecShard solvers exploit
+        // exactly this blindness on mixed clusters (`hetero_scaling` bench).
+        let m = system.num_gpus();
         let mut gpu_cost = vec![0.0f64; m];
-        let mut hbm_free = vec![system.hbm_capacity_per_gpu; m];
-        let mut dram_free = vec![system.dram_capacity_per_gpu; m];
+        let mut hbm_free: Vec<u64> = (0..m).map(|g| system.hbm_capacity(g)).collect();
+        let mut dram_free: Vec<u64> = (0..m).map(|g| system.dram_capacity(g)).collect();
         let mut placements: Vec<Option<TablePlacement>> = vec![None; model.num_features()];
 
         for (idx, cost) in order {
@@ -113,7 +117,10 @@ impl<C: CostFunction> GreedySharder<C> {
                     });
                 };
                 dram_free[g] -= bytes;
-                gpu_cost[g] += cost * system.bandwidth_ratio();
+                // Reference-class ratio, not the target GPU's: the baseline
+                // stays class-blind in its cost accounting (identical on
+                // uniform clusters, where there is only one class).
+                gpu_cost[g] += cost * system.reference_class().bandwidth_ratio();
                 TablePlacement {
                     table: spec.id,
                     gpu: g,

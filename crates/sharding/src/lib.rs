@@ -40,5 +40,5 @@ pub use error::ShardingError;
 pub use greedy::GreedySharder;
 pub use plan::{MemoryTier, ShardingPlan, TablePlacement};
 pub use remap::{RemapTable, RemappedRow};
-pub use system::SystemSpec;
+pub use system::{ClusterSpec, DeviceClass, SystemSpec, GIB};
 pub use topology::{NodeAssigner, NodeAssignment, NodeTopology};

@@ -276,16 +276,19 @@ impl ShardingPlan {
 
     /// Validates the plan against a model and system: every table placed
     /// exactly once on a valid GPU with consistent row counts, and no GPU
-    /// exceeding its HBM or DRAM capacity.
+    /// exceeding *its own* HBM or DRAM capacity — on a heterogeneous
+    /// cluster each GPU is checked against its device class's limits, so a
+    /// plan that overflows only the small-GPU class is rejected.
     ///
     /// # Errors
     ///
     /// Returns [`ShardingError::InvalidPlan`] describing the first violation.
     pub fn validate(&self, model: &ModelSpec, system: &SystemSpec) -> Result<(), ShardingError> {
-        if self.num_gpus != system.num_gpus {
+        if self.num_gpus != system.num_gpus() {
             return Err(ShardingError::InvalidPlan(format!(
                 "plan is for {} GPUs but the system has {}",
-                self.num_gpus, system.num_gpus
+                self.num_gpus,
+                system.num_gpus()
             )));
         }
         if self.placements.len() != model.num_features() {
@@ -334,18 +337,18 @@ impl ShardingPlan {
             }
         }
         for (gpu, &bytes) in self.hbm_bytes_per_gpu().iter().enumerate() {
-            if bytes > system.hbm_capacity_per_gpu {
+            if bytes > system.hbm_capacity(gpu) {
                 return Err(ShardingError::InvalidPlan(format!(
-                    "GPU {gpu} HBM usage {bytes} exceeds capacity {}",
-                    system.hbm_capacity_per_gpu
+                    "GPU {gpu} HBM usage {bytes} exceeds its capacity {}",
+                    system.hbm_capacity(gpu)
                 )));
             }
         }
         for (gpu, &bytes) in self.uvm_bytes_per_gpu().iter().enumerate() {
-            if bytes > system.dram_capacity_per_gpu {
+            if bytes > system.dram_capacity(gpu) {
                 return Err(ShardingError::InvalidPlan(format!(
-                    "GPU {gpu} UVM usage {bytes} exceeds capacity {}",
-                    system.dram_capacity_per_gpu
+                    "GPU {gpu} UVM usage {bytes} exceeds its capacity {}",
+                    system.dram_capacity(gpu)
                 )));
             }
         }
@@ -445,6 +448,60 @@ mod tests {
             plan.validate(&model, &tiny),
             Err(ShardingError::InvalidPlan(_))
         ));
+    }
+
+    #[test]
+    fn validation_checks_against_owning_gpu_capacity() {
+        use crate::system::DeviceClass;
+        let model = ModelSpec::small(4, 2);
+        // GPU 0 is big enough for everything; GPU 1 holds almost nothing.
+        let big = DeviceClass::new("big", model.total_bytes(), model.total_bytes(), 100.0, 1.0);
+        let small = DeviceClass::new("small", 16, model.total_bytes(), 100.0, 1.0);
+        let system = SystemSpec::with_classes(vec![big, small], vec![0, 1]);
+
+        // A plan keeping every table on GPU 0 is fine...
+        let on_big = ShardingPlan::new(
+            "big-only",
+            2,
+            model
+                .features()
+                .iter()
+                .map(|f| TablePlacement {
+                    table: f.id,
+                    gpu: 0,
+                    hbm_rows: f.hash_size,
+                    total_rows: f.hash_size,
+                    row_bytes: f.row_bytes(),
+                })
+                .collect(),
+        );
+        on_big.validate(&model, &system).unwrap();
+
+        // ...but the identical byte load overflows only the small class.
+        let on_small = ShardingPlan::new(
+            "small-only",
+            2,
+            model
+                .features()
+                .iter()
+                .map(|f| TablePlacement {
+                    table: f.id,
+                    gpu: 1,
+                    hbm_rows: f.hash_size,
+                    total_rows: f.hash_size,
+                    row_bytes: f.row_bytes(),
+                })
+                .collect(),
+        );
+        match on_small.validate(&model, &system) {
+            Err(ShardingError::InvalidPlan(msg)) => {
+                assert!(
+                    msg.contains("GPU 1"),
+                    "violation must name the small GPU: {msg}"
+                );
+            }
+            other => panic!("small-class overflow must be rejected, got {other:?}"),
+        }
     }
 
     #[test]

@@ -157,10 +157,10 @@ impl NodeAssigner {
     ) -> Result<NodeAssignment, ShardingError> {
         assert_eq!(
             topology.num_gpus(),
-            system.num_gpus,
+            system.num_gpus(),
             "topology covers {} GPUs but the system has {}",
             topology.num_gpus(),
-            system.num_gpus
+            system.num_gpus()
         );
         if profile.num_features() != model.num_features() {
             return Err(ShardingError::ProfileMismatch(format!(
@@ -192,10 +192,18 @@ impl NodeAssigner {
                 .then(a.0.cmp(&b.0))
         });
 
-        let per_node_capacity = (system.hbm_capacity_per_gpu + system.dram_capacity_per_gpu)
-            * topology.gpus_per_node as u64;
+        // Per-node capacity is the aggregate over that node's GPUs — on a
+        // heterogeneous cluster different nodes can carry different device
+        // mixes, so each node's budget is summed from its own class mix.
         let mut node_traffic = vec![0.0f64; topology.num_nodes];
-        let mut node_free = vec![per_node_capacity; topology.num_nodes];
+        let mut node_free: Vec<u64> = (0..topology.num_nodes)
+            .map(|n| {
+                topology
+                    .gpus_of_node(n)
+                    .map(|g| system.hbm_capacity(g) + system.dram_capacity(g))
+                    .sum()
+            })
+            .collect();
         let mut node_of_table = vec![0usize; model.num_features()];
 
         for (idx, traffic) in order {
@@ -275,7 +283,7 @@ mod tests {
                 .sum();
             assert!(
                 bytes
-                    <= (system.hbm_capacity_per_gpu + system.dram_capacity_per_gpu)
+                    <= (system.hbm_capacity(0) + system.dram_capacity(0))
                         * topology.gpus_per_node as u64
             );
         }

@@ -22,10 +22,10 @@ fn two_level_greedy(
     let assignment = NodeAssigner.assign(model, profile, system, topology).ok()?;
     let node_system = SystemSpec::uniform(
         topology.gpus_per_node,
-        system.hbm_capacity_per_gpu,
-        system.dram_capacity_per_gpu,
-        system.hbm_bandwidth_gbps,
-        system.uvm_bandwidth_gbps,
+        system.hbm_capacity(0),
+        system.dram_capacity(0),
+        system.hbm_bandwidth_gbps(0),
+        system.uvm_bandwidth_gbps(0),
     );
     let mut placements: Vec<Option<TablePlacement>> = vec![None; model.num_features()];
     for node in 0..topology.num_nodes {
@@ -71,7 +71,10 @@ fn two_level_greedy(
         }
     }
     let placements = placements.into_iter().collect::<Option<Vec<_>>>()?;
-    Some(ShardingPlan::new("two-level-greedy", system.num_gpus, placements).with_topology(topology))
+    Some(
+        ShardingPlan::new("two-level-greedy", system.num_gpus(), placements)
+            .with_topology(topology),
+    )
 }
 
 proptest! {
@@ -227,10 +230,10 @@ proptest! {
         .flatten()
         {
             for &bytes in &plan.hbm_bytes_per_gpu() {
-                prop_assert!(bytes <= system.hbm_capacity_per_gpu);
+                prop_assert!(bytes <= system.hbm_capacity(0));
             }
             for &bytes in &plan.uvm_bytes_per_gpu() {
-                prop_assert!(bytes <= system.dram_capacity_per_gpu);
+                prop_assert!(bytes <= system.dram_capacity(0));
             }
         }
     }
@@ -296,13 +299,13 @@ proptest! {
         );
         let Some(plan) = two_level_greedy(&model, &profile, &system, topology) else { continue };
         for &bytes in &plan.hbm_bytes_per_gpu() {
-            prop_assert!(bytes <= system.hbm_capacity_per_gpu);
+            prop_assert!(bytes <= system.hbm_capacity(0));
         }
         for &bytes in &plan.uvm_bytes_per_gpu() {
-            prop_assert!(bytes <= system.dram_capacity_per_gpu);
+            prop_assert!(bytes <= system.dram_capacity(0));
         }
-        let node_hbm_cap = system.hbm_capacity_per_gpu * topology.gpus_per_node as u64;
-        let node_dram_cap = system.dram_capacity_per_gpu * topology.gpus_per_node as u64;
+        let node_hbm_cap = system.hbm_capacity(0) * topology.gpus_per_node as u64;
+        let node_dram_cap = system.dram_capacity(0) * topology.gpus_per_node as u64;
         let hbm_per_node = plan.hbm_bytes_per_node();
         let uvm_per_node = plan.uvm_bytes_per_node();
         prop_assert_eq!(hbm_per_node.len(), nodes);
@@ -343,7 +346,7 @@ proptest! {
         prop_assert_eq!(flat.placements(), plan.placements());
         // A flat plan's node view degenerates to one all-covering node.
         prop_assert_eq!(flat.node_assignments(), vec![0usize; model.num_features()]);
-        prop_assert_eq!(flat.effective_topology(), NodeTopology::single(system.num_gpus));
+        prop_assert_eq!(flat.effective_topology(), NodeTopology::single(system.num_gpus()));
     }
 
     /// Remap *transitions* are valid permutations: re-sharding a table from

@@ -32,7 +32,7 @@ fn main() {
         "model: {} tables, {:.1} MiB of embeddings; cache: {:.2} MiB per shard\n",
         model.num_features(),
         model.total_bytes() as f64 / (1 << 20) as f64,
-        system.hbm_capacity_per_gpu as f64 / (1 << 20) as f64,
+        system.hbm_capacity(0) as f64 / (1 << 20) as f64,
     );
 
     // 2. Profile the training distribution — the same statistics the

@@ -35,12 +35,19 @@ const DES_THROUGHPUT_GOLDEN: [u64; 4] = [
 const FIG13_DES_GOLDEN: u64 = 0x088f_5c6b_4ad9_b186;
 
 /// Committed fingerprint of the tiny `solver_scaling` sweep: the FNV-1a hash
-/// of the canonical `BENCH_solver.json` payload with timing fields blanked.
-const SOLVER_SCALING_GOLDEN: u64 = 0xccc9_6a71_07eb_426a;
+/// of the canonical `BENCH_solver.json` payload with timing fields blanked
+/// (the payload gained the `hetero_points` section with the heterogeneous
+/// hardware model; the uniform sweep points are unchanged — see
+/// `SOLVER_SCALING_PLAN_GOLDEN`, which kept its pre-hetero values).
+const SOLVER_SCALING_GOLDEN: u64 = 0x5d2c_8486_c7dd_dbce;
 
 /// Committed per-point scalable-plan fingerprints of the tiny sweep
 /// (placement-level regression lock, finer than the JSON hash).
 const SOLVER_SCALING_PLAN_GOLDEN: [u64; 2] = [0x2fb9_1b57_659d_ddcb, 0x97c4_2462_237c_40fd];
+
+/// Committed scalable-plan fingerprints of the tiny sweep's mixed-cluster
+/// `hetero_scaling` points (2 big + 2 small GPUs).
+const HETERO_SCALING_PLAN_GOLDEN: [u64; 2] = [0x3a85_a2fe_9293_a897, 0x1695_d4a3_9a86_b9e7];
 
 /// The scaled-down `des_throughput` configuration: same skewed workload
 /// shape, same capacity pressure (HBM holds ~1/3 of the model), fixed
@@ -117,6 +124,27 @@ fn solver_scaling_fingerprint_is_bit_for_bit_stable() {
                 .points
                 .iter()
                 .map(|p| format!("{:#018x}", p.scalable_plan_fingerprint))
+                .collect::<Vec<_>>()
+        );
+    }
+    for (h, &golden) in report.hetero.iter().zip(&HETERO_SCALING_PLAN_GOLDEN) {
+        assert!(
+            h.scalable_vs_greedy < 1.0,
+            "hetero point {} tables: class-aware must beat class-blind greedy (ratio {})",
+            h.tables,
+            h.scalable_vs_greedy
+        );
+        assert_eq!(
+            h.scalable_plan_fingerprint,
+            golden,
+            "{} tables mixed cluster: hetero scalable plan drifted              (actual {:#018x}, golden {:#018x}); all actuals: {:?}",
+            h.tables,
+            h.scalable_plan_fingerprint,
+            golden,
+            report
+                .hetero
+                .iter()
+                .map(|h| format!("{:#018x}", h.scalable_plan_fingerprint))
                 .collect::<Vec<_>>()
         );
     }
