@@ -1,0 +1,123 @@
+//! DES throughput trajectory: seeded events/sec sweep emitting the tracked
+//! `BENCH_des.json` artifact.
+//!
+//! Runs the RecShard plan for the canonical skewed workload through the
+//! discrete-event cluster simulator at 4 and 16 GPUs, flat and with the
+//! two-level node topology, under identical seeds. Everything in the JSON
+//! is a pure function of the sweep configuration and seed **except** the
+//! wall-clock fields (`wall_ms`, `events_per_sec`), which are only written
+//! under `RECSHARD_BENCH_TIMING=1` — otherwise a `-1` sentinel keeps the
+//! artifact byte-stable, the same contract as `BENCH_solver.json`.
+//!
+//! Perf-trajectory gate: when `RECSHARD_BENCH_BASELINE` points at a
+//! previously committed `BENCH_des.json`, the run fails on events/sec
+//! regressions beyond `RECSHARD_BENCH_TOLERANCE` (default 25% — generous,
+//! because wall rates on shared runners are noisy; the gate catches
+//! instrumentation-scale slowdowns, not jitter). Event-log fingerprint
+//! drift against the baseline is *reported* but never fails the run.
+//!
+//! Observability export: when `RECSHARD_OBS_DIR` is set, the sweep's
+//! smallest flat point re-runs once with a collector attached and writes
+//! `des_trace.jsonl`, `des_trace.chrome.json` (load it in
+//! `chrome://tracing` or Perfetto) and `des_metrics.json` there.
+//!
+//! Environment overrides: `RECSHARD_DES_MAX_GPUS`, `RECSHARD_DES_ITERS`,
+//! `RECSHARD_SEED`, `RECSHARD_BENCH_TIMING`, `RECSHARD_BENCH_BASELINE`,
+//! `RECSHARD_BENCH_TOLERANCE`, `RECSHARD_OBS_DIR`.
+
+use recshard_bench::des_bench::{
+    fingerprint_drift, run_sweep, throughput_regressions, traced_smoke, DesBenchConfig,
+};
+use recshard_bench::report::RunReport;
+
+fn main() {
+    let cfg = DesBenchConfig::from_env();
+    println!(
+        "# des_bench: {} tables x gpus {:?} (flat + hierarchical), {} iterations, \
+         batch {}, seed {:#x}, timing {}",
+        cfg.tables,
+        cfg.gpu_counts,
+        cfg.iterations,
+        cfg.batch_size,
+        cfg.seed,
+        if cfg.include_timing {
+            "in JSON"
+        } else {
+            "stdout only"
+        }
+    );
+    let report = run_sweep(&cfg);
+
+    // Perf-trajectory gate against a previously committed BENCH_des.json.
+    // Read the baseline *before* overwriting it below.
+    if let Ok(baseline_path) = std::env::var("RECSHARD_BENCH_BASELINE") {
+        let tolerance = std::env::var("RECSHARD_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.25);
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        for drift in fingerprint_drift(&report, &baseline) {
+            println!("note: {drift}");
+        }
+        let regressions = throughput_regressions(&report, &baseline, tolerance);
+        if regressions.is_empty() {
+            println!(
+                "no events/sec regressions vs {baseline_path} (tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("THROUGHPUT REGRESSION: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+
+    // Observability artifact export: one traced seeded smoke run.
+    if let Ok(dir) = std::env::var("RECSHARD_OBS_DIR") {
+        let (summary, bundle) = traced_smoke(&cfg);
+        std::fs::create_dir_all(&dir).expect("create RECSHARD_OBS_DIR");
+        let path = |name: &str| format!("{dir}/{name}");
+        std::fs::write(path("des_trace.jsonl"), bundle.trace.to_jsonl())
+            .expect("write des_trace.jsonl");
+        std::fs::write(path("des_trace.chrome.json"), bundle.trace.to_chrome())
+            .expect("write des_trace.chrome.json");
+        std::fs::write(path("des_metrics.json"), bundle.metrics.to_json())
+            .expect("write des_metrics.json");
+        let mut obs = RunReport::new("observability export");
+        obs.push("directory", &dir)
+            .push("trace records", bundle.trace.len())
+            .push_fingerprint("trace fingerprint", bundle.trace.fingerprint())
+            .push_fingerprint("metrics fingerprint", bundle.metrics.fingerprint())
+            .push_fingerprint("event-log fingerprint", summary.fingerprint);
+        print!("{obs}");
+    }
+
+    let json = report.to_json();
+    std::fs::write("BENCH_des.json", &json).expect("write BENCH_des.json");
+    println!();
+    let mut summary = RunReport::new("des_bench");
+    summary
+        .push("sweep points", report.points.len())
+        .push_fingerprint("report fingerprint", report.fingerprint());
+    for p in &report.points {
+        let key = format!("{} GPUs x {} node(s)", p.gpus, p.nodes);
+        if p.events_per_sec > 0.0 {
+            summary.push(
+                &key,
+                format!(
+                    "{} events, {:.0} events/s wall, fingerprint {:#018x}",
+                    p.events, p.events_per_sec, p.fingerprint
+                ),
+            );
+        } else {
+            summary.push(
+                &key,
+                format!("{} events, fingerprint {:#018x}", p.events, p.fingerprint),
+            );
+        }
+    }
+    print!("{summary}");
+    println!("wrote BENCH_des.json");
+}

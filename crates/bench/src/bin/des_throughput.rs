@@ -19,17 +19,11 @@
 //! `RECSHARD_DES_ITERS` (default 10,000, min 10,000), `RECSHARD_SIM_BATCH`
 //! (default 32), `RECSHARD_SEED`.
 
+use recshard_bench::report::{determinism_report, env_u64, RunReport};
 use recshard_bench::{print_row, skewed_model, Strategy};
 use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator, RunSummary};
 use recshard_sharding::{ShardingPlan, SystemSpec};
 use recshard_stats::DatasetProfiler;
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn main() {
     let gpus = env_u64("RECSHARD_GPUS", 4).max(4) as usize;
@@ -149,26 +143,29 @@ fn main() {
         "identical seed must reproduce the identical summary"
     );
     println!();
-    println!(
-        "determinism: RecShard replay fingerprint {:#018x} == first run: {}",
-        again.fingerprint,
-        again.fingerprint == recshard.fingerprint
+    print!(
+        "{}",
+        determinism_report("RecShard replay", recshard.fingerprint, again.fingerprint)
     );
 
     let best_baseline_p99 = results[1..]
         .iter()
         .map(|(_, s)| s.p99_ms)
         .fold(f64::INFINITY, f64::min);
+    let mut footer = RunReport::new("des_throughput");
+    footer
+        .push("RecShard p99 ms", format!("{:.3}", recshard.p99_ms))
+        .push("best baseline p99 ms", format!("{best_baseline_p99:.3}"))
+        .push("RecShard wins", recshard.p99_ms < best_baseline_p99)
+        .push(
+            "sustained iters/s",
+            format!("{:.1}", recshard.throughput_iters_per_s),
+        )
+        .push("offered batches/s", format!("{:.1}", 1e3 / interval_ms))
+        .push("simulator events", recshard.events);
+    print!("{footer}");
     println!(
-        "RecShard p99 {:.3} ms vs best baseline p99 {:.3} ms — RecShard wins: {}",
-        recshard.p99_ms,
-        best_baseline_p99,
-        recshard.p99_ms < best_baseline_p99
-    );
-    println!(
-        "RecShard sustains {:.1} iters/s at an offered load of {:.1} batches/s; \
-         baselines that fall behind queue without bound and their tails diverge.",
-        recshard.throughput_iters_per_s,
-        1e3 / interval_ms
+        "Baselines that fall behind the offered load queue without bound and \
+         their tails diverge."
     );
 }

@@ -23,19 +23,13 @@
 //! `RECSHARD_SERVE_REQUESTS` (default 20,000), `RECSHARD_SERVE_WARMUP`
 //! (default 2,000), `RECSHARD_SERVE_BATCH` (default 8), `RECSHARD_SEED`.
 
+use recshard_bench::report::{determinism_report, env_u64, RunReport};
 use recshard_bench::{print_row, skewed_model, Strategy};
 use recshard_serve::{
     hash_placement, ArrivalModel, InferenceServer, PolicyKind, ServeConfig, ServeReport,
 };
 use recshard_sharding::{ShardingPlan, SystemSpec};
 use recshard_stats::DatasetProfiler;
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn main() {
     let shards = env_u64("RECSHARD_GPUS", 4).max(2) as usize;
@@ -170,10 +164,13 @@ fn main() {
         "identical seed must reproduce the identical serving report"
     );
     println!();
-    println!(
-        "determinism: StatGuided-on-RecShard replay fingerprint {:#018x} == first run: {}",
-        again.fingerprint,
-        again.fingerprint == best.fingerprint
+    print!(
+        "{}",
+        determinism_report(
+            "StatGuided-on-RecShard replay",
+            best.fingerprint,
+            again.fingerprint
+        )
     );
 
     assert!(best.hit_rate > 0.0, "stat-guided hit rate must be non-zero");
@@ -189,14 +186,22 @@ fn main() {
         best.p99_ms,
         baseline.p99_ms
     );
-    println!(
-        "StatGuided-on-RecShard: hit rate {:.1}% vs LRU-on-hash {:.1}%, \
-         p99 {:.3} ms vs {:.3} ms — wins on both: true",
-        best.hit_rate * 100.0,
-        baseline.hit_rate * 100.0,
-        best.p99_ms,
-        baseline.p99_ms
-    );
+    let mut footer = RunReport::new("serve_qps: StatGuided-on-RecShard vs LRU-on-hash");
+    footer
+        .push(
+            "hit rate",
+            format!(
+                "{:.1}% vs {:.1}%",
+                best.hit_rate * 100.0,
+                baseline.hit_rate * 100.0
+            ),
+        )
+        .push(
+            "p99 ms",
+            format!("{:.3} vs {:.3}", best.p99_ms, baseline.p99_ms),
+        )
+        .push("wins on both", true);
+    print!("{footer}");
     println!(
         "The profiled CDF knee pins {:.1} MiB of head rows per run and refuses \
          one-hit wonders, so tail traffic cannot churn the head out of HBM — the \

@@ -20,6 +20,7 @@
 //! Environment overrides: `RECSHARD_SOLVER_MAX_TABLES`,
 //! `RECSHARD_SOLVER_MAX_GPUS`, `RECSHARD_SEED`, `RECSHARD_BENCH_TIMING`.
 
+use recshard_bench::report::RunReport;
 use recshard_bench::solver_bench::{cost_regressions, run_sweep, SolverBenchConfig};
 
 fn main() {
@@ -95,11 +96,6 @@ fn main() {
     let json = report.to_json();
     std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
     println!();
-    println!(
-        "wrote BENCH_solver.json: {} sweep points, fingerprint {:#018x}",
-        report.points.len(),
-        report.fingerprint()
-    );
     let worst = report
         .points
         .iter()
@@ -110,18 +106,28 @@ fn main() {
         .iter()
         .map(|p| p.compression_ratio)
         .fold(0.0f64, f64::max);
-    println!(
-        "scalable vs structured worst-case cost ratio {worst:.4} (bound 1.01), \
-         best bucketing compression {best_compression:.2}x"
-    );
     let hetero_worst = report
         .hetero
         .iter()
         .map(|h| h.scalable_vs_greedy)
         .fold(0.0f64, f64::max);
-    println!(
-        "hetero_scaling: {} mixed-cluster points, class-aware vs class-blind \
-         worst-case cost ratio {hetero_worst:.4} (bound: strictly < 1)",
-        report.hetero.len()
-    );
+    let mut footer = RunReport::new("solver_scaling");
+    footer
+        .push("sweep points", report.points.len())
+        .push_fingerprint("report fingerprint", report.fingerprint())
+        .push(
+            "scalable vs structured worst-case cost ratio",
+            format!("{worst:.4} (bound 1.01)"),
+        )
+        .push(
+            "best bucketing compression",
+            format!("{best_compression:.2}x"),
+        )
+        .push("mixed-cluster points", report.hetero.len())
+        .push(
+            "class-aware vs class-blind worst-case cost ratio",
+            format!("{hetero_worst:.4} (bound: strictly < 1)"),
+        );
+    print!("{footer}");
+    println!("wrote BENCH_solver.json");
 }

@@ -1,0 +1,543 @@
+//! The `des_bench` sweep: the repo's tracked DES-throughput trajectory
+//! artifact (`BENCH_des.json`).
+//!
+//! Replays the RecShard plan for the canonical skewed workload through
+//! `recshard-des` at 4 and 16 GPUs, once flat and once with the two-level
+//! node topology of [`bench_topology`], all under identical seeds and an
+//! identical open-loop arrival pace. Every point records the run's
+//! event-log fingerprint, event count, virtual-time makespan/throughput
+//! and sojourn tails — all pure functions of the seed — plus wall-clock
+//! milliseconds and simulator events/sec, which are only written into the
+//! JSON under `RECSHARD_BENCH_TIMING=1` (otherwise the [`TIMING_DISABLED`]
+//! sentinel keeps the artifact byte-stable, mirroring `BENCH_solver.json`).
+//!
+//! [`throughput_regressions`] is the CI gate: a generous relative
+//! events/sec floor against a previously committed baseline, skipping
+//! sentinel/missing points so untimed or trimmed runs never false-positive.
+//! [`fingerprint_drift`] separately reports *behavioural* drift (any event
+//! log change), which is informational — plans legitimately change across
+//! solver work — while a throughput regression fails the build.
+
+use crate::solver_bench::{bench_system, bench_topology, field_num, fnv_fold, TIMING_DISABLED};
+use crate::{skewed_model, Strategy};
+use recshard::{HierarchicalSolver, RecShardConfig};
+use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator, RunSummary};
+use recshard_obs::{Collector, ObsBundle};
+use recshard_sharding::{ShardingPlan, SystemSpec};
+use recshard_stats::{DatasetProfile, DatasetProfiler};
+use std::time::Instant;
+
+/// Sweep configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesBenchConfig {
+    /// Tables in the skewed workload.
+    pub tables: usize,
+    /// GPU counts swept (each runs flat and hierarchical).
+    pub gpu_counts: Vec<usize>,
+    /// Training iterations simulated per point.
+    pub iterations: u64,
+    /// Traced samples per batch.
+    pub batch_size: usize,
+    /// Synthetic samples profiled before sharding.
+    pub profile_samples: usize,
+    /// Open-loop arrival interval, ms (identical across points).
+    pub arrival_interval_ms: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Measure wall-clock times and events/sec into the JSON (breaks
+    /// byte-stability across runs; stdout always shows measured rates).
+    pub include_timing: bool,
+}
+
+impl DesBenchConfig {
+    /// The full tracked sweep: 4- and 16-GPU points, flat + hierarchical.
+    pub fn full() -> Self {
+        Self {
+            tables: 48,
+            gpu_counts: vec![4, 16],
+            iterations: 10_000,
+            batch_size: 32,
+            profile_samples: 3_000,
+            arrival_interval_ms: 2.0,
+            seed: 0xA5F0,
+            include_timing: false,
+        }
+    }
+
+    /// A seconds-scale sweep for tests and CI smoke runs.
+    pub fn tiny() -> Self {
+        Self {
+            tables: 24,
+            gpu_counts: vec![4],
+            iterations: 300,
+            batch_size: 16,
+            profile_samples: 800,
+            arrival_interval_ms: 2.0,
+            seed: 0xA5F0,
+            include_timing: false,
+        }
+    }
+
+    /// [`full`](Self::full) with environment overrides:
+    /// `RECSHARD_DES_MAX_GPUS` truncates the GPU sweep,
+    /// `RECSHARD_DES_ITERS` overrides the iteration count, `RECSHARD_SEED`
+    /// reseeds, and `RECSHARD_BENCH_TIMING=1` measures wall times into the
+    /// JSON.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::full();
+        let get = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
+        if let Some(max) = get("RECSHARD_DES_MAX_GPUS") {
+            cfg.gpu_counts.retain(|&g| g as u64 <= max);
+        }
+        if let Some(iters) = get("RECSHARD_DES_ITERS") {
+            cfg.iterations = iters.max(1);
+        }
+        if let Some(seed) = get("RECSHARD_SEED") {
+            cfg.seed = seed;
+        }
+        cfg.include_timing = std::env::var("RECSHARD_BENCH_TIMING").as_deref() == Ok("1");
+        cfg
+    }
+
+    fn cluster_config(&self) -> ClusterConfig {
+        ClusterConfig {
+            batch_size: self.batch_size,
+            iterations: self.iterations,
+            seed: self.seed,
+            arrival: ArrivalProcess::FixedRate {
+                interval_ms: self.arrival_interval_ms,
+            },
+            kernel_overhead_us_per_table: 8.0,
+            scale_to_batch: None,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+/// One sweep point: one seeded DES run of one plan shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesBenchPoint {
+    /// GPUs simulated.
+    pub gpus: usize,
+    /// Nodes of the plan's topology (1 = flat).
+    pub nodes: usize,
+    /// Iterations simulated.
+    pub iterations: u64,
+    /// Total simulator events processed.
+    pub events: u64,
+    /// Plan swaps performed by the re-sharding controller.
+    pub reshards: u32,
+    /// Virtual-time makespan, ms.
+    pub makespan_ms: f64,
+    /// Sustained throughput in *virtual* time (iterations per virtual
+    /// second) — deterministic, unlike the wall-clock rate below.
+    pub virtual_iters_per_s: f64,
+    /// Median iteration sojourn time, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile iteration sojourn time, ms.
+    pub p99_ms: f64,
+    /// Order-sensitive FNV-1a hash of the run's entire event log.
+    pub fingerprint: u64,
+    /// Best-of-[`TIMING_REPS`] wall-clock run time (ms), or
+    /// [`TIMING_DISABLED`].
+    pub wall_ms: f64,
+    /// Simulator events per wall-clock second (best repetition), or
+    /// [`TIMING_DISABLED`].
+    pub events_per_sec: f64,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesBenchReport {
+    /// Seed the sweep ran under.
+    pub seed: u64,
+    /// Whether timing fields hold measurements.
+    pub timed: bool,
+    /// Per-point results, sweep order (gpus outer; flat before
+    /// hierarchical).
+    pub points: Vec<DesBenchPoint>,
+}
+
+/// The flat and hierarchical plans of one sweep GPU count.
+fn sweep_plans(
+    cfg: &DesBenchConfig,
+    profile: &DatasetProfile,
+    gpus: usize,
+) -> Vec<(usize, ShardingPlan)> {
+    let model = skewed_model(cfg.tables);
+    let system = bench_system(model.total_bytes(), gpus);
+    let flat = Strategy::RecShard.plan(&model, profile, &system);
+    let topology = bench_topology(gpus);
+    let hier = HierarchicalSolver::new(RecShardConfig::default(), topology)
+        .solve(&model, profile, &system)
+        .expect("hierarchical solve failed");
+    vec![(1, flat), (topology.num_nodes, hier)]
+}
+
+/// Wall-clock repetitions per timed point. The simulated run is a pure
+/// function of the seed, so every repetition produces the identical
+/// summary (asserted) — only the wall time varies with scheduler noise.
+/// Best-of-N keeps the recorded events/sec stable enough for the
+/// regression gate's 25% margin to mean something.
+const TIMING_REPS: usize = 3;
+
+fn simulate(
+    cfg: &DesBenchConfig,
+    profile: &DatasetProfile,
+    system: &SystemSpec,
+    plan: &ShardingPlan,
+) -> (RunSummary, f64) {
+    let model = skewed_model(cfg.tables);
+    let reps = if cfg.include_timing { TIMING_REPS } else { 1 };
+    let mut best: Option<(RunSummary, f64)> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let summary =
+            ClusterSimulator::new(&model, plan, profile, system, cfg.cluster_config()).run();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        best = Some(match best {
+            None => (summary, wall_ms),
+            Some((prev, prev_ms)) => {
+                assert_eq!(
+                    prev, summary,
+                    "seeded repetitions must replay bit-identically"
+                );
+                (prev, prev_ms.min(wall_ms))
+            }
+        });
+    }
+    best.expect("at least one repetition")
+}
+
+/// Runs the sweep.
+pub fn run_sweep(cfg: &DesBenchConfig) -> DesBenchReport {
+    let model = skewed_model(cfg.tables);
+    let profile = DatasetProfiler::profile_model(&model, cfg.profile_samples, cfg.seed);
+    let mut points = Vec::new();
+    for &gpus in &cfg.gpu_counts {
+        let system = bench_system(model.total_bytes(), gpus);
+        for (nodes, plan) in sweep_plans(cfg, &profile, gpus) {
+            let (summary, wall_ms) = simulate(cfg, &profile, &system, &plan);
+            let events_per_sec = summary.events as f64 / (wall_ms / 1e3).max(1e-12);
+            println!(
+                "des_bench: {gpus} GPUs x {nodes} node(s): {} events in {wall_ms:.1} ms \
+                 ({events_per_sec:.0} events/s wall), virtual {:.1} iters/s, \
+                 sojourn p50/p99 {:.3}/{:.3} ms, fingerprint {:#018x}",
+                summary.events,
+                summary.throughput_iters_per_s,
+                summary.p50_ms,
+                summary.p99_ms,
+                summary.fingerprint,
+            );
+            let gate = |v: f64| {
+                if cfg.include_timing {
+                    v
+                } else {
+                    TIMING_DISABLED
+                }
+            };
+            points.push(DesBenchPoint {
+                gpus,
+                nodes,
+                iterations: summary.completed,
+                events: summary.events,
+                reshards: summary.reshards,
+                makespan_ms: summary.makespan_ms,
+                virtual_iters_per_s: summary.throughput_iters_per_s,
+                p50_ms: summary.p50_ms,
+                p99_ms: summary.p99_ms,
+                fingerprint: summary.fingerprint,
+                wall_ms: gate(wall_ms),
+                events_per_sec: gate(events_per_sec),
+            });
+        }
+    }
+    DesBenchReport {
+        seed: cfg.seed,
+        timed: cfg.include_timing,
+        points,
+    }
+}
+
+/// Runs the sweep's smallest flat point once with a [`Collector`] attached:
+/// the seeded smoke run whose JSONL/Chrome-trace/metrics artifacts CI
+/// exports, and the subject of the observability determinism tests.
+///
+/// # Panics
+///
+/// Panics if the configuration sweeps no GPU counts.
+pub fn traced_smoke(cfg: &DesBenchConfig) -> (RunSummary, ObsBundle) {
+    let gpus = *cfg.gpu_counts.first().expect("sweep needs a GPU count");
+    let model = skewed_model(cfg.tables);
+    let profile = DatasetProfiler::profile_model(&model, cfg.profile_samples, cfg.seed);
+    let system = bench_system(model.total_bytes(), gpus);
+    let plan = Strategy::RecShard.plan(&model, &profile, &system);
+    let mut collector = Collector::new();
+    let summary = ClusterSimulator::new(&model, &plan, &profile, &system, cfg.cluster_config())
+        .with_obs(&mut collector)
+        .run();
+    (summary, collector.finish())
+}
+
+impl DesBenchReport {
+    /// Canonical JSON serialisation (the `BENCH_des.json` payload): key
+    /// order fixed, floats in `{:.9e}`, one point per line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"des_throughput\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"timed\": {},\n", self.timed));
+        out.push_str("  \"timing_sentinel\": \"-1 = timing disabled for byte-stable output\",\n");
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let f = |x: f64| format!("{x:.9e}");
+            out.push_str(&format!(
+                "    {{\"gpus\": {}, \"nodes\": {}, \"iterations\": {}, \
+                 \"events\": {}, \"reshards\": {}, \"makespan_ms\": {}, \
+                 \"virtual_iters_per_s\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+                 \"fingerprint\": \"{:#018x}\", \
+                 \"wall_ms\": {}, \"events_per_sec\": {}}}{}\n",
+                p.gpus,
+                p.nodes,
+                p.iterations,
+                p.events,
+                p.reshards,
+                f(p.makespan_ms),
+                f(p.virtual_iters_per_s),
+                f(p.p50_ms),
+                f(p.p99_ms),
+                p.fingerprint,
+                f(p.wall_ms),
+                f(p.events_per_sec),
+                if i + 1 < self.points.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// FNV-1a fingerprint over the canonical JSON with timing fields
+    /// blanked, so the value is identical whether or not timing ran.
+    pub fn fingerprint(&self) -> u64 {
+        let mut untimed = self.clone();
+        untimed.timed = false;
+        for p in &mut untimed.points {
+            p.wall_ms = TIMING_DISABLED;
+            p.events_per_sec = TIMING_DISABLED;
+        }
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in untimed.to_json().bytes() {
+            fnv_fold(&mut hash, byte as u64);
+        }
+        hash
+    }
+}
+
+/// Extracts the hex fingerprint string from one canonical-JSON point line.
+fn field_fingerprint(line: &str) -> Option<&str> {
+    let key = "\"fingerprint\": \"";
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Parses the `(gpus, nodes, iterations)` identity of one baseline point
+/// line (the key the gates match on).
+fn point_key(line: &str) -> Option<(usize, usize, u64)> {
+    Some((
+        field_num(line, "gpus")? as usize,
+        field_num(line, "nodes")? as usize,
+        field_num(line, "iterations")? as u64,
+    ))
+}
+
+/// Compares a freshly computed (timed) report against a previously
+/// committed `BENCH_des.json` payload and returns one human-readable line
+/// per *throughput regression*: a point (matched on `gpus` × `nodes` ×
+/// `iterations`) whose wall-clock events/sec fell below `1 - tolerance`
+/// times the baseline's. Points missing on either side, and points whose
+/// timing is the [`TIMING_DISABLED`] sentinel on either side, are skipped
+/// — untimed runs and trimmed sweeps never false-positive. The default CI
+/// tolerance is generous (25%) because wall-clock rates on shared runners
+/// are noisy; the gate exists to catch order-of-magnitude instrumentation
+/// slowdowns, not scheduler jitter.
+pub fn throughput_regressions(
+    current: &DesBenchReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut baseline = Vec::new(); // (key, events_per_sec)
+    for line in baseline_json.lines() {
+        let (Some(key), Some(rate)) = (point_key(line), field_num(line, "events_per_sec")) else {
+            continue;
+        };
+        baseline.push((key, rate));
+    }
+    let mut regressions = Vec::new();
+    for p in &current.points {
+        if p.events_per_sec <= 0.0 {
+            continue; // sentinel: this run was untimed
+        }
+        let key = (p.gpus, p.nodes, p.iterations);
+        let Some(&(_, base)) = baseline.iter().find(|&&(k, _)| k == key) else {
+            continue;
+        };
+        if base <= 0.0 {
+            continue; // baseline was untimed
+        }
+        if p.events_per_sec < base * (1.0 - tolerance) {
+            regressions.push(format!(
+                "{} GPUs x {} node(s) x {} iters: {:.0} events/s is more than {:.0}% below \
+                 the baseline's {:.0} events/s",
+                p.gpus,
+                p.nodes,
+                p.iterations,
+                p.events_per_sec,
+                tolerance * 100.0,
+                base,
+            ));
+        }
+    }
+    regressions
+}
+
+/// Compares event-log fingerprints against a previously committed
+/// `BENCH_des.json` payload (matched on `gpus` × `nodes` × `iterations`)
+/// and returns one line per drifted point. Drift means the simulated
+/// behaviour changed — legitimate when solver work changes plans, so this
+/// is reported, not failed.
+pub fn fingerprint_drift(current: &DesBenchReport, baseline_json: &str) -> Vec<String> {
+    let mut baseline = Vec::new(); // (key, fingerprint string)
+    for line in baseline_json.lines() {
+        let (Some(key), Some(fp)) = (point_key(line), field_fingerprint(line)) else {
+            continue;
+        };
+        baseline.push((key, fp.to_string()));
+    }
+    let mut drifted = Vec::new();
+    for p in &current.points {
+        let key = (p.gpus, p.nodes, p.iterations);
+        let Some((_, base)) = baseline.iter().find(|(k, _)| *k == key) else {
+            continue;
+        };
+        let fp = format!("{:#018x}", p.fingerprint);
+        if &fp != base {
+            drifted.push(format!(
+                "{} GPUs x {} node(s) x {} iters: event-log fingerprint {fp} differs from \
+                 baseline {base}",
+                p.gpus, p.nodes, p.iterations,
+            ));
+        }
+    }
+    drifted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_is_deterministic_and_sound() {
+        let cfg = DesBenchConfig::tiny();
+        let a = run_sweep(&cfg);
+        let b = run_sweep(&cfg);
+        assert_eq!(a, b, "same seed must reproduce the same sweep");
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.points.len(), 2, "flat + hierarchical at one GPU count");
+        assert_eq!(a.points[0].nodes, 1, "flat point first");
+        assert!(a.points[1].nodes > 1, "hierarchical point second");
+        for p in &a.points {
+            assert_eq!(p.iterations, cfg.iterations);
+            assert!(p.events > p.iterations, "every iteration takes >1 event");
+            assert!(p.p50_ms > 0.0 && p.p50_ms <= p.p99_ms);
+            assert!(p.virtual_iters_per_s > 0.0);
+            assert_eq!(p.wall_ms, TIMING_DISABLED);
+            assert_eq!(p.events_per_sec, TIMING_DISABLED);
+        }
+    }
+
+    #[test]
+    fn timing_mode_changes_json_but_not_fingerprint() {
+        let mut cfg = DesBenchConfig::tiny();
+        cfg.iterations = 60;
+        let untimed = run_sweep(&cfg);
+        cfg.include_timing = true;
+        let timed = run_sweep(&cfg);
+        assert_ne!(untimed.to_json(), timed.to_json());
+        assert_eq!(untimed.fingerprint(), timed.fingerprint());
+        assert!(timed.points[0].wall_ms >= 0.0);
+        assert!(timed.points[0].events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn throughput_gate_and_drift_report_behave() {
+        let mut cfg = DesBenchConfig::tiny();
+        cfg.iterations = 60;
+        cfg.include_timing = true;
+        let report = run_sweep(&cfg);
+        let baseline = report.to_json();
+
+        assert!(
+            throughput_regressions(&report, &baseline, 0.25).is_empty(),
+            "a report can never regress against its own serialisation"
+        );
+        assert!(fingerprint_drift(&report, &baseline).is_empty());
+
+        // Halving every rate must trip a 25% gate on every matched point.
+        let mut slowed = report.clone();
+        for p in &mut slowed.points {
+            p.events_per_sec *= 0.5;
+        }
+        let regressions = throughput_regressions(&slowed, &baseline, 0.25);
+        assert_eq!(
+            regressions.len(),
+            report.points.len(),
+            "every slowed point must be flagged: {regressions:?}"
+        );
+        // ... and a very loose gate accepts the same drift.
+        assert!(throughput_regressions(&slowed, &baseline, 0.6).is_empty());
+
+        // Sentinel timings on the current side are skipped, not flagged.
+        let mut untimed = report.clone();
+        for p in &mut untimed.points {
+            p.wall_ms = TIMING_DISABLED;
+            p.events_per_sec = TIMING_DISABLED;
+        }
+        assert!(throughput_regressions(&untimed, &baseline, 0.25).is_empty());
+
+        // A mutated fingerprint is reported as drift but never as a
+        // throughput regression.
+        let mut drifted = report.clone();
+        drifted.points[0].fingerprint ^= 1;
+        assert_eq!(fingerprint_drift(&drifted, &baseline).len(), 1);
+        assert!(throughput_regressions(&drifted, &baseline, 0.25).is_empty());
+
+        // Trimming the sweep on either side is ignored.
+        let mut trimmed = report.clone();
+        trimmed.points.truncate(1);
+        assert!(throughput_regressions(&trimmed, &baseline, 0.25).is_empty());
+        assert!(fingerprint_drift(&trimmed, &baseline).is_empty());
+    }
+
+    #[test]
+    fn traced_smoke_matches_untraced_run_and_bundles_everything() {
+        let mut cfg = DesBenchConfig::tiny();
+        cfg.iterations = 40;
+        let (summary, bundle) = traced_smoke(&cfg);
+        let plain = run_sweep(&cfg);
+        assert_eq!(
+            summary.fingerprint, plain.points[0].fingerprint,
+            "the traced smoke run must replay the flat sweep point exactly"
+        );
+        assert!(
+            !bundle.trace.is_empty(),
+            "the smoke run must record a trace"
+        );
+        let jsonl = bundle.trace.to_jsonl();
+        assert_eq!(jsonl.lines().count(), bundle.trace.len());
+        let chrome = bundle.trace.to_chrome();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.trim_end().ends_with("]}"));
+    }
+}

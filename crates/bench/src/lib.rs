@@ -15,6 +15,8 @@
 //! wins, by what factor, how access counts shift between HBM and UVM — are
 //! reproduced by these harnesses.
 
+pub mod des_bench;
+pub mod report;
 pub mod solver_bench;
 
 use recshard::{RecShard, RecShardConfig};

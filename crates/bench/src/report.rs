@@ -1,0 +1,72 @@
+//! Shared reporting for the bench binaries, built on the `recshard-obs`
+//! run-report layer.
+//!
+//! Every throughput binary used to hand-roll the same three things: a
+//! `u64` environment-override reader, an events/sec line, and a
+//! determinism footer asserting that a same-seed replay reproduced the
+//! first run's fingerprint. They now all come from here, rendered through
+//! [`RunReport`] so the output format is uniform across
+//! `des_throughput`, `serve_qps`, `solver_scaling` and `des_bench`.
+
+pub use recshard_obs::{events_per_sec, RunReport};
+
+/// Reads a `u64` environment override, falling back to `default` when the
+/// variable is unset or unparseable.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The determinism footer every seeded bench binary prints: a same-seed
+/// replay must reproduce the first run's fingerprint exactly.
+///
+/// # Panics
+///
+/// Panics if the fingerprints differ — a seeded run that fails to replay
+/// byte-identically is a determinism bug, not a reportable result.
+pub fn determinism_report(label: &str, first: u64, replay: u64) -> RunReport {
+    assert_eq!(
+        first, replay,
+        "{label}: same-seed replay fingerprint {replay:#018x} must \
+         reproduce the first run's {first:#018x}"
+    );
+    let mut report = RunReport::new(format!("determinism: {label}"));
+    report
+        .push_fingerprint("first run", first)
+        .push_fingerprint("replay", replay)
+        .push("byte-identical", true);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_u64_parses_and_falls_back() {
+        // Deliberately unset / garbage variables fall back to the default.
+        assert_eq!(env_u64("RECSHARD_TEST_SURELY_UNSET_VAR", 42), 42);
+        std::env::set_var("RECSHARD_TEST_REPORT_ENV_U64", "17");
+        assert_eq!(env_u64("RECSHARD_TEST_REPORT_ENV_U64", 42), 17);
+        std::env::set_var("RECSHARD_TEST_REPORT_ENV_U64", "not a number");
+        assert_eq!(env_u64("RECSHARD_TEST_REPORT_ENV_U64", 42), 42);
+        std::env::remove_var("RECSHARD_TEST_REPORT_ENV_U64");
+    }
+
+    #[test]
+    fn determinism_report_renders_matching_fingerprints() {
+        let report = determinism_report("demo", 0xABCD, 0xABCD);
+        let text = report.render();
+        assert!(text.starts_with("== determinism: demo ==\n"));
+        assert!(text.contains("0x000000000000abcd"));
+        assert!(text.contains("byte-identical: true"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must reproduce")]
+    fn determinism_report_panics_on_drift() {
+        determinism_report("demo", 1, 2);
+    }
+}

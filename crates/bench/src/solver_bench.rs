@@ -223,7 +223,7 @@ fn max_cost(
         .fold(0.0f64, f64::max)
 }
 
-fn fnv_fold(hash: &mut u64, word: u64) {
+pub(crate) fn fnv_fold(hash: &mut u64, word: u64) {
     *hash ^= word;
     *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
 }
@@ -456,7 +456,7 @@ impl SolverBenchReport {
 }
 
 /// Extracts a numeric field from one canonical-JSON point line.
-fn field_num(line: &str, name: &str) -> Option<f64> {
+pub(crate) fn field_num(line: &str, name: &str) -> Option<f64> {
     let key = format!("\"{name}\": ");
     let start = line.find(&key)? + key.len();
     let rest = &line[start..];

@@ -294,8 +294,32 @@ impl MilpFormulation {
         system: &SystemSpec,
         options: recshard_milp::SolveOptions,
     ) -> Result<ShardingPlan, RecShardError> {
+        self.solve_observed(
+            model,
+            profile,
+            system,
+            options,
+            &mut recshard_obs::ObsHandle::noop(),
+        )
+    }
+
+    /// Like [`solve_with`](Self::solve_with), forwarding branch-and-bound
+    /// trace events (LP solves, node opens, prunes, incumbents) to `obs`.
+    /// The solve itself is observation-independent.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve_with`](Self::solve_with).
+    pub fn solve_observed(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        options: recshard_milp::SolveOptions,
+        obs: &mut recshard_obs::ObsHandle<'_>,
+    ) -> Result<ShardingPlan, RecShardError> {
         let (milp, vars, costs) = self.build(model, profile, system)?;
-        let solution = milp.solve_with(options)?;
+        let solution = milp.solve_observed(options, obs)?;
         let num_tables = model.num_features();
         let num_gpus = system.num_gpus();
         let steps = self.config.icdf_steps;

@@ -111,6 +111,29 @@ impl HierarchicalSolver {
         profile: &DatasetProfile,
         system: &SystemSpec,
     ) -> Result<ShardingPlan, RecShardError> {
+        self.solve_observed(model, profile, system, &mut recshard_obs::ObsHandle::noop())
+    }
+
+    /// Like [`solve`](Self::solve), recording one
+    /// [`TraceEvent::NodeSolve`](recshard_obs::TraceEvent::NodeSolve) per
+    /// per-node sub-problem (tables, GPUs, exact-vs-scalable backend) and
+    /// forwarding the sub-solver's own events into `obs`. The solve itself
+    /// is observation-independent.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve`](Self::solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology and system disagree on the GPU count.
+    pub fn solve_observed(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        obs: &mut recshard_obs::ObsHandle<'_>,
+    ) -> Result<ShardingPlan, RecShardError> {
         assert_eq!(
             self.topology.num_gpus(),
             system.num_gpus(),
@@ -151,18 +174,37 @@ impl HierarchicalSolver {
                 .collect();
             let node_system = SystemSpec::with_classes(local_classes, local_assignment);
             let (sub_model, sub_profile) = subproblem(model, profile, &tables);
-            let sub_plan = if tables.len() <= self.hier.per_node_exact_max_tables {
+            let exact = tables.len() <= self.hier.per_node_exact_max_tables;
+            obs.record(
+                node as u64,
+                recshard_obs::TraceEvent::NodeSolve {
+                    node: node as u32,
+                    tables: tables.len() as u64,
+                    gpus: self.topology.gpus_per_node as u64,
+                    exact,
+                },
+            );
+            let sub_plan = if exact {
                 MilpFormulation::new(
                     self.config
                         .with_icdf_steps(self.hier.per_node_exact_icdf_steps),
                 )
-                .solve(&sub_model, &sub_profile, &node_system)?
-            } else {
-                ScalableSolver::with_bucketing(self.config, self.hier.bucketing).solve(
+                .solve_observed(
                     &sub_model,
                     &sub_profile,
                     &node_system,
+                    recshard_milp::SolveOptions::default(),
+                    &mut obs.reborrow(),
                 )?
+            } else {
+                ScalableSolver::with_bucketing(self.config, self.hier.bucketing)
+                    .solve_report_observed(
+                        &sub_model,
+                        &sub_profile,
+                        &node_system,
+                        &mut obs.reborrow(),
+                    )?
+                    .plan
             };
             let base_gpu = node * self.topology.gpus_per_node;
             for (local, placement) in sub_plan.placements().iter().enumerate() {

@@ -141,6 +141,33 @@ impl ScalableSolver {
         self.solve_report_impl(model, profile, system, None)
     }
 
+    /// Like [`solve_report`](Self::solve_report), recording a
+    /// [`TraceEvent::Bucketing`](recshard_obs::TraceEvent::Bucketing) event
+    /// with the preprocessor's compression ratio into `obs`. The solve
+    /// itself is observation-independent.
+    ///
+    /// # Errors
+    ///
+    /// As [`StructuredSolver::solve`](crate::solver::StructuredSolver::solve).
+    pub fn solve_report_observed(
+        &self,
+        model: &ModelSpec,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        obs: &mut recshard_obs::ObsHandle<'_>,
+    ) -> Result<ScalableSolveReport, RecShardError> {
+        let report = self.solve_report_impl(model, profile, system, None)?;
+        obs.record(
+            0,
+            recshard_obs::TraceEvent::Bucketing {
+                tables: report.tables as u64,
+                buckets: report.buckets as u64,
+                compression: report.compression_ratio,
+            },
+        );
+        Ok(report)
+    }
+
     fn solve_report_impl(
         &self,
         model: &ModelSpec,

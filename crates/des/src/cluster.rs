@@ -33,6 +33,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recshard_data::ModelSpec;
 use recshard_memsim::AccessCounters;
+use recshard_obs::{ObsHandle, ObsSink, TraceEvent};
 use recshard_sharding::{ShardingPlan, SystemSpec};
 use recshard_stats::{DatasetProfile, StreamingCdf, Summary, WelfordAccumulator};
 use serde::{Deserialize, Serialize};
@@ -99,6 +100,9 @@ enum Event {
 struct InFlight {
     arrival: SimTime,
     remaining_gpus: u32,
+    /// When the first GPU finished its gather — the barrier wait of the
+    /// iteration spans from here to the last GPU's finish.
+    first_done: SimTime,
 }
 
 /// Aggregated results of one simulated run. Two runs with identical inputs
@@ -181,7 +185,7 @@ impl std::fmt::Display for RunSummary {
 /// assert!(summary.p99_ms >= summary.p50_ms);
 /// ```
 #[derive(Debug)]
-pub struct ClusterSimulator {
+pub struct ClusterSimulator<'obs> {
     config: ClusterConfig,
     system: SystemSpec,
     base_model: ModelSpec,
@@ -201,9 +205,10 @@ pub struct ClusterSimulator {
     current_month: u32,
     controller: Option<ReshardController>,
     fingerprint: u64,
+    obs: ObsHandle<'obs>,
 }
 
-impl ClusterSimulator {
+impl<'obs> ClusterSimulator<'obs> {
     /// Builds a simulator for `model` sharded by `plan` on `system`.
     ///
     /// # Panics
@@ -252,6 +257,7 @@ impl ClusterSimulator {
             current_month: 0,
             controller: None,
             fingerprint: 0xCBF2_9CE4_8422_2325,
+            obs: ObsHandle::noop(),
         }
     }
 
@@ -265,6 +271,16 @@ impl ClusterSimulator {
     /// Attaches an online re-sharding controller.
     pub fn with_controller(mut self, controller: ReshardController) -> Self {
         self.controller = Some(controller);
+        self
+    }
+
+    /// Attaches an observation sink: station enqueues/services, barrier
+    /// waits, exchanges, iteration completions, re-shard checks and the
+    /// final simulation summary are recorded at their virtual timestamps.
+    /// Observation never perturbs the simulation — the [`RunSummary`]
+    /// (fingerprint included) is identical with and without a sink.
+    pub fn with_obs(mut self, sink: &'obs mut (dyn ObsSink + 'obs)) -> Self {
+        self.obs = ObsHandle::attached(sink);
         self
     }
 
@@ -345,9 +361,33 @@ impl ClusterSimulator {
         let counters = self
             .workload
             .sample_iteration(self.config.batch_size, &mut self.workload_rng);
+        let obs_on = self.obs.enabled();
         for (gpu, c) in counters.iter().enumerate() {
             let demand = self.demand_for(gpu, c);
             let completion = self.stations[gpu].submit(now, demand);
+            if obs_on {
+                let service_ns = demand.total_ns();
+                let start_ns = completion.as_ns() - service_ns;
+                let wait_ns = start_ns - now.as_ns();
+                self.obs.record(
+                    now.as_ns(),
+                    TraceEvent::StationEnqueue {
+                        gpu: gpu as u32,
+                        iter,
+                        queue_ns: wait_ns,
+                    },
+                );
+                self.obs.record(
+                    now.as_ns(),
+                    TraceEvent::StationService {
+                        gpu: gpu as u32,
+                        iter,
+                        start_ns,
+                        service_ns,
+                        wait_ns,
+                    },
+                );
+            }
             self.queue
                 .schedule_at(completion, Event::GpuDone { iter, gpu });
         }
@@ -356,6 +396,7 @@ impl ClusterSimulator {
             InFlight {
                 arrival: now,
                 remaining_gpus: self.stations.len() as u32,
+                first_done: now,
             },
         );
 
@@ -367,13 +408,35 @@ impl ClusterSimulator {
     }
 
     fn handle_gpu_done(&mut self, iter: u64) {
+        let now = self.queue.now();
+        let total = self.stations.len() as u32;
         let entry = self
             .in_flight
             .get_mut(&iter)
             .expect("GpuDone for unknown iteration");
+        if entry.remaining_gpus == total {
+            entry.first_done = now;
+        }
         entry.remaining_gpus -= 1;
-        if entry.remaining_gpus == 0 {
+        let barrier_open = (entry.remaining_gpus == 0).then_some(entry.first_done);
+        if let Some(first_done) = barrier_open {
             // Barrier passed: the all-to-all exchange starts now.
+            if self.obs.enabled() {
+                self.obs.record(
+                    first_done.as_ns(),
+                    TraceEvent::BarrierWait {
+                        iter,
+                        wait_ns: now.since(first_done),
+                    },
+                );
+                self.obs.record(
+                    now.as_ns(),
+                    TraceEvent::Exchange {
+                        iter,
+                        duration_ns: self.exchange_ns,
+                    },
+                );
+            }
             self.queue
                 .schedule_after_ns(self.exchange_ns, Event::ExchangeDone { iter });
         }
@@ -384,9 +447,12 @@ impl ClusterSimulator {
             .in_flight
             .remove(&iter)
             .expect("ExchangeDone for unknown iteration");
-        let sojourn_ms = self.queue.now().since(entry.arrival) as f64 / 1e6;
-        self.sojourn_cdf.push(sojourn_ms);
+        let now = self.queue.now();
+        let sojourn_ns = now.since(entry.arrival);
+        self.sojourn_cdf.push(sojourn_ns as f64 / 1e6);
         self.completed += 1;
+        self.obs
+            .record(now.as_ns(), TraceEvent::IterationDone { iter, sojourn_ns });
 
         // Online re-sharding: periodic imbalance check on completed work.
         let Some(controller) = &mut self.controller else {
@@ -397,20 +463,50 @@ impl ClusterSimulator {
         }
         let busy: Vec<u64> = self.stations.iter().map(|s| s.busy_ns()).collect();
         let outcome = controller.check(&busy, self.workload.model(), &self.plan, &self.system);
-        if let CheckOutcome::Reshard {
-            plan,
-            profile,
-            migration_ns,
-            ..
-        } = outcome
-        {
-            let now = self.queue.now();
-            for station in &mut self.stations {
-                station.stall(now, migration_ns);
+        match outcome {
+            CheckOutcome::Balanced { imbalance } => {
+                self.obs.record(
+                    now.as_ns(),
+                    TraceEvent::ReshardCheck {
+                        completed: self.completed,
+                        imbalance,
+                        resharded: false,
+                        moved_tables: 0,
+                        migration_ns: 0,
+                    },
+                );
             }
-            self.workload.install_plan(&plan, &profile);
-            self.tables_per_gpu = self.workload.tables_per_gpu();
-            self.plan = plan;
+            CheckOutcome::Reshard {
+                imbalance,
+                plan,
+                profile,
+                migration_ns,
+            } => {
+                if self.obs.enabled() {
+                    let moved_tables = plan
+                        .placements()
+                        .iter()
+                        .zip(self.plan.placements())
+                        .filter(|(new, old)| new.gpu != old.gpu)
+                        .count() as u64;
+                    self.obs.record(
+                        now.as_ns(),
+                        TraceEvent::ReshardCheck {
+                            completed: self.completed,
+                            imbalance,
+                            resharded: true,
+                            moved_tables,
+                            migration_ns,
+                        },
+                    );
+                }
+                for station in &mut self.stations {
+                    station.stall(now, migration_ns);
+                }
+                self.workload.install_plan(&plan, &profile);
+                self.tables_per_gpu = self.workload.tables_per_gpu();
+                self.plan = plan;
+            }
         }
     }
 
@@ -436,6 +532,13 @@ impl ClusterSimulator {
         );
 
         let makespan = self.queue.now();
+        self.obs.record(
+            makespan.as_ns(),
+            TraceEvent::SimulationDone {
+                events: self.queue.processed(),
+                iterations: self.completed,
+            },
+        );
         let makespan_ms = makespan.as_ms();
         let mut queue_wait = WelfordAccumulator::new();
         for s in &self.stations {
@@ -531,6 +634,32 @@ mod tests {
         )
         .run();
         assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_traces_every_event() {
+        let (model, profile, system, plan) = setup(2);
+        let plain = ClusterSimulator::new(&model, &plan, &profile, &system, config(50)).run();
+        let mut collector = recshard_obs::Collector::new();
+        let traced = ClusterSimulator::new(&model, &plan, &profile, &system, config(50))
+            .with_obs(&mut collector)
+            .run();
+        assert_eq!(plain, traced, "observation must not perturb the run");
+        let bundle = collector.finish();
+        // Per iteration on 2 GPUs: 2×(enqueue + service) + barrier + exchange
+        // + iteration-done = 7 records, plus the final simulation summary.
+        assert_eq!(bundle.trace.len() as u64, 50 * 7 + 1);
+        let iters = bundle
+            .metrics
+            .entries
+            .iter()
+            .find(|(n, _)| n == "des.iterations")
+            .map(|(_, v)| v.clone());
+        assert_eq!(
+            iters,
+            Some(recshard_obs::MetricValue::Counter(50)),
+            "iteration counter must match the run"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::model::{Model, Sense, VarKind};
 use crate::simplex::{LpProblem, EPS};
 use crate::solution::{Solution, SolveStats, Status};
 use crate::sparse::{BasisSnapshot, SparseLp};
+use recshard_obs::{ObsHandle, PruneReason, TraceEvent};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
@@ -38,6 +39,8 @@ impl Default for SolveOptions {
 }
 
 struct Node {
+    /// Creation-order id, stable across runs; only used for trace events.
+    id: u64,
     /// LP relaxation bound of this node in *minimization* form (lower bound on
     /// any integer solution in the subtree).
     bound: f64,
@@ -74,6 +77,8 @@ struct NodeLp {
     objective: f64,
     values: Vec<f64>,
     pivots: usize,
+    /// Basis refactorisations (0 on the dense fallback, which has none).
+    refactorizations: usize,
     basis: Option<Rc<BasisSnapshot>>,
 }
 
@@ -128,6 +133,7 @@ impl<'a> BranchAndBound<'a> {
                         objective: sol.objective,
                         values: sol.values,
                         pivots: sol.pivots,
+                        refactorizations: sol.refactorizations,
                         basis: Some(sol.basis),
                     })
                 }
@@ -141,6 +147,7 @@ impl<'a> BranchAndBound<'a> {
             objective: sol.objective,
             values: sol.values,
             pivots: sol.pivots,
+            refactorizations: 0,
             basis: None,
         })
     }
@@ -151,7 +158,20 @@ impl<'a> BranchAndBound<'a> {
     ///
     /// See [`MilpError`].
     pub fn solve(&self) -> Result<Solution, MilpError> {
+        self.solve_observed(&mut ObsHandle::noop())
+    }
+
+    /// Solves the MILP, emitting [`TraceEvent::LpSolved`], node open / prune /
+    /// incumbent events into `obs`. Timestamps are a synthetic tick counter
+    /// (branch and bound has no virtual clock); the search itself is
+    /// observation-independent.
+    ///
+    /// # Errors
+    ///
+    /// See [`MilpError`].
+    pub fn solve_observed(&self, obs: &mut ObsHandle<'_>) -> Result<Solution, MilpError> {
         let model = self.model;
+        let mut tick: u64 = 0;
         let int_vars: Vec<usize> = model
             .variables()
             .iter()
@@ -173,7 +193,18 @@ impl<'a> BranchAndBound<'a> {
         // Solve the root relaxation first so pure LPs exit immediately.
         let root_sol = self.solve_node(&root_lower, &root_upper, None)?;
         stats.simplex_pivots += root_sol.pivots;
+        stats.simplex_refactorizations += root_sol.refactorizations;
         stats.nodes_explored += 1;
+        tick += 1;
+        obs.record(
+            tick,
+            TraceEvent::LpSolved {
+                node: 0,
+                pivots: root_sol.pivots as u64,
+                refactorizations: root_sol.refactorizations as u64,
+                objective: root_sol.objective,
+            },
+        );
 
         if int_vars.is_empty() || Self::fractional_var(&root_sol.values, &int_vars).is_none() {
             let values = Self::snap(&root_sol.values, &int_vars);
@@ -183,11 +214,13 @@ impl<'a> BranchAndBound<'a> {
 
         let mut heap = BinaryHeap::new();
         heap.push(Node {
+            id: 0,
             bound: minimize_sign * root_sol.objective,
             lower: root_lower,
             upper: root_upper,
             basis: root_sol.basis,
         });
+        let mut next_id: u64 = 1;
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None; // minimization objective, values
         let node_limit = model.node_limit();
@@ -204,22 +237,70 @@ impl<'a> BranchAndBound<'a> {
                     None => Err(MilpError::NodeLimit { limit: node_limit }),
                 };
             }
+            tick += 1;
+            obs.record(
+                tick,
+                TraceEvent::BnbOpen {
+                    node: node.id,
+                    bound: node.bound,
+                },
+            );
             // Prune against the incumbent.
             if let Some((best, _)) = &incumbent {
                 if node.bound >= *best - 1e-9 {
+                    stats.nodes_pruned += 1;
+                    tick += 1;
+                    obs.record(
+                        tick,
+                        TraceEvent::BnbPrune {
+                            node: node.id,
+                            reason: PruneReason::Bound,
+                        },
+                    );
                     continue;
                 }
             }
             let lp_sol = match self.solve_node(&node.lower, &node.upper, node.basis.as_ref()) {
                 Ok(s) => s,
-                Err(MilpError::Infeasible) => continue,
+                Err(MilpError::Infeasible) => {
+                    stats.nodes_pruned += 1;
+                    tick += 1;
+                    obs.record(
+                        tick,
+                        TraceEvent::BnbPrune {
+                            node: node.id,
+                            reason: PruneReason::Infeasible,
+                        },
+                    );
+                    continue;
+                }
                 Err(e) => return Err(e),
             };
             stats.nodes_explored += 1;
             stats.simplex_pivots += lp_sol.pivots;
+            stats.simplex_refactorizations += lp_sol.refactorizations;
+            tick += 1;
+            obs.record(
+                tick,
+                TraceEvent::LpSolved {
+                    node: node.id,
+                    pivots: lp_sol.pivots as u64,
+                    refactorizations: lp_sol.refactorizations as u64,
+                    objective: lp_sol.objective,
+                },
+            );
             let bound_min = minimize_sign * lp_sol.objective;
             if let Some((best, _)) = &incumbent {
                 if bound_min >= *best - 1e-9 {
+                    stats.nodes_pruned += 1;
+                    tick += 1;
+                    obs.record(
+                        tick,
+                        TraceEvent::BnbPrune {
+                            node: node.id,
+                            reason: PruneReason::Bound,
+                        },
+                    );
                     continue;
                 }
             }
@@ -234,6 +315,14 @@ impl<'a> BranchAndBound<'a> {
                         .map(|(best, _)| obj_min < *best - 1e-12)
                         .unwrap_or(true);
                     if better && model.is_feasible(&snapped, 1e-5) {
+                        tick += 1;
+                        obs.record(
+                            tick,
+                            TraceEvent::BnbIncumbent {
+                                node: node.id,
+                                objective: minimize_sign * obj_min,
+                            },
+                        );
                         incumbent = Some((obj_min, snapped));
                     }
                 }
@@ -241,21 +330,25 @@ impl<'a> BranchAndBound<'a> {
                     // Branch: var <= floor(value) and var >= ceil(value); both
                     // children inherit this node's optimal basis.
                     let mut down = Node {
+                        id: next_id,
                         bound: bound_min,
                         lower: node.lower.clone(),
                         upper: node.upper.clone(),
                         basis: lp_sol.basis.clone(),
                     };
+                    next_id += 1;
                     down.upper[var] = value.floor();
                     if down.lower[var] <= down.upper[var] + EPS {
                         heap.push(down);
                     }
                     let mut up = Node {
+                        id: next_id,
                         bound: bound_min,
                         lower: node.lower,
                         upper: node.upper,
                         basis: lp_sol.basis,
                     };
+                    next_id += 1;
                     up.lower[var] = value.ceil();
                     if up.lower[var] <= up.upper[var] + EPS {
                         heap.push(up);
@@ -461,6 +554,54 @@ mod tests {
             sol.objective()
         );
         assert!((sol.value(x) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observed_solve_is_observation_independent() {
+        // Same knapsack as `knapsack_exact`: the traced solve must return the
+        // identical solution, and the trace must cover every explored node.
+        let mut m = Model::new(Sense::Maximize);
+        let vals = [10.0, 13.0, 7.0, 4.0];
+        let weights = [3.0, 4.0, 2.0, 1.0];
+        let vars: Vec<_> = (0..4)
+            .map(|i| m.add_binary(format!("x{i}"), vals[i]))
+            .collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect(),
+            ConstraintSense::Le,
+            7.0,
+        );
+        let plain = m.solve().unwrap();
+        let mut collector = recshard_obs::Collector::new();
+        let observed = m
+            .solve_observed(
+                SolveOptions::default(),
+                &mut ObsHandle::attached(&mut collector),
+            )
+            .unwrap();
+        assert_eq!(plain, observed);
+        let stats = observed.stats();
+        assert!(stats.nodes_explored > 1, "knapsack should branch");
+        assert!(
+            stats.simplex_refactorizations >= stats.nodes_explored,
+            "every sparse node solve refactorizes at least once"
+        );
+        let bundle = collector.finish();
+        let lp_solved = bundle
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.event.name() == "lp_solved")
+            .count();
+        assert_eq!(lp_solved, stats.nodes_explored);
+        let pruned = bundle
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.event.name() == "bnb_prune")
+            .count();
+        assert_eq!(pruned, stats.nodes_pruned);
     }
 
     #[test]

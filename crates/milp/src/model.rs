@@ -263,10 +263,25 @@ impl Model {
     ///
     /// See [`Model::solve`].
     pub fn solve_with(&self, options: crate::branch::SolveOptions) -> Result<Solution, MilpError> {
+        self.solve_observed(options, &mut recshard_obs::ObsHandle::noop())
+    }
+
+    /// Solves the model, emitting LP-solve / node open / prune / incumbent
+    /// trace events into `obs`. The search is observation-independent: the
+    /// returned solution is identical for any sink, including the no-op one.
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve`].
+    pub fn solve_observed(
+        &self,
+        options: crate::branch::SolveOptions,
+        obs: &mut recshard_obs::ObsHandle<'_>,
+    ) -> Result<Solution, MilpError> {
         if self.variables.is_empty() {
             return Err(MilpError::InvalidModel("model has no variables".into()));
         }
-        BranchAndBound::with_options(self, options).solve()
+        BranchAndBound::with_options(self, options).solve_observed(obs)
     }
 }
 

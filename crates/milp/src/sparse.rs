@@ -63,6 +63,9 @@ pub struct SparseLpSolution {
     pub values: Vec<f64>,
     /// Dual-simplex pivots performed.
     pub pivots: usize,
+    /// Basis refactorisations performed (the initial factorisation plus one
+    /// every `REFACTOR_EVERY` pivots).
+    pub refactorizations: usize,
     /// The optimal basis, for warm-starting child nodes.
     pub basis: Rc<BasisSnapshot>,
 }
@@ -107,6 +110,7 @@ struct Workspace<'a> {
     /// Reduced costs per variable (basic entries are 0).
     d: Vec<f64>,
     pivots: usize,
+    refactorizations: usize,
 }
 
 impl SparseLp {
@@ -259,6 +263,7 @@ impl SparseLp {
             xb: Vec::new(),
             d: Vec::new(),
             pivots: 0,
+            refactorizations: 0,
         };
         // A nonbasic variable sitting on a bound that is no longer finite (or
         // whose bounds were swapped tighter) is re-anchored to the nearest
@@ -299,6 +304,7 @@ impl Workspace<'_> {
     /// Rebuilds `binv` from the basis by Gauss-Jordan elimination with
     /// partial pivoting, then recomputes basic values and reduced costs.
     fn refactorize(&mut self) -> Result<(), MilpError> {
+        self.refactorizations += 1;
         let m = self.lp.m;
         let n = self.lp.n;
         // Assemble B column-wise into a dense working matrix.
@@ -658,6 +664,7 @@ impl Workspace<'_> {
             objective,
             values,
             pivots: self.pivots,
+            refactorizations: self.refactorizations,
             basis: Rc::new(BasisSnapshot {
                 basic: self.basic,
                 status: self.status,

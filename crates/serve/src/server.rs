@@ -25,8 +25,9 @@ use crate::policy::{PolicyKind, StatGuide, StatGuidedConfig};
 use crate::report::ServeReport;
 use crate::request::{ArrivalModel, RequestStream, ShardTask};
 use recshard_data::ModelSpec;
+use recshard_obs::{Collector, MetricsRegistry, ObsBundle, ObsSink, TraceBuffer, TraceEvent};
 use recshard_sharding::{ShardingPlan, SystemSpec};
-use recshard_stats::{DatasetProfile, StreamingCdf};
+use recshard_stats::DatasetProfile;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a serving run.
@@ -94,6 +95,8 @@ struct ShardRun {
     bypasses: u64,
     /// Total busy nanoseconds (warmup included).
     busy_ns: u64,
+    /// Trace records of this shard's serving loop (traced runs only).
+    trace: Option<TraceBuffer>,
 }
 
 /// The online embedding-lookup service.
@@ -134,6 +137,38 @@ impl InferenceServer {
         profile: &DatasetProfile,
         system: &SystemSpec,
         config: ServeConfig,
+    ) -> ServeReport {
+        Self::run_impl(model, plan, profile, system, config, None)
+    }
+
+    /// Like [`run`](Self::run), additionally collecting a structured trace
+    /// (per-task `query_served` spans, per-query `query_latency` instants,
+    /// per-shard end-state `cache_shard` records) and a metrics snapshot.
+    /// The report is identical to the untraced [`run`](Self::run) —
+    /// observation never perturbs the measured numbers.
+    ///
+    /// # Panics
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_traced(
+        model: &ModelSpec,
+        plan: &ShardingPlan,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        config: ServeConfig,
+    ) -> (ServeReport, ObsBundle) {
+        let mut collector = Collector::new();
+        let report = Self::run_impl(model, plan, profile, system, config, Some(&mut collector));
+        (report, collector.finish())
+    }
+
+    fn run_impl(
+        model: &ModelSpec,
+        plan: &ShardingPlan,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        config: ServeConfig,
+        obs: Option<&mut Collector>,
     ) -> ServeReport {
         assert!(config.queries > 0, "must serve at least one query");
         assert_eq!(
@@ -195,7 +230,10 @@ impl InferenceServer {
             .collect();
 
         // One worker thread per GPU shard; each mutates only its own cache
-        // and clock, so the merged result is schedule-independent.
+        // and clock, so the merged result is schedule-independent. Traced
+        // runs buffer per-shard records privately and merge them in shard
+        // order afterwards, keeping the trace deterministic too.
+        let traced = obs.is_some();
         let mut runs: Vec<ShardRun> = Vec::with_capacity(shards);
         std::thread::scope(|scope| {
             let handles: Vec<_> = stream
@@ -209,7 +247,7 @@ impl InferenceServer {
                     let row_bytes = &row_bytes;
                     scope.spawn(move || {
                         Self::run_shard(
-                            tasks, cache, arrivals, row_bytes, system, gpu, &config, hop_ns,
+                            tasks, cache, arrivals, row_bytes, system, gpu, &config, hop_ns, traced,
                         )
                     })
                 })
@@ -220,7 +258,15 @@ impl InferenceServer {
         });
 
         let reported_capacity = capacity_of.iter().copied().max().unwrap_or(0);
-        Self::merge(plan, &stream, &caches, runs, reported_capacity, &config)
+        Self::merge(
+            plan,
+            &stream,
+            &caches,
+            runs,
+            reported_capacity,
+            &config,
+            obs,
+        )
     }
 
     /// One shard's serving loop: FIFO virtual-time queueing over its tasks.
@@ -238,7 +284,9 @@ impl InferenceServer {
         gpu: usize,
         config: &ServeConfig,
         hop_ns: u64,
+        traced: bool,
     ) -> ShardRun {
+        let mut trace = traced.then(|| TraceBuffer::new(gpu as u32));
         let hbm_ns_per_byte = 1e9 / (system.hbm_bandwidth_gbps(gpu) * 1e9);
         let uvm_ns_per_byte = 1e9 / (system.uvm_bandwidth_gbps(gpu) * 1e9);
         // Scratch for counting distinct tables without a per-task set.
@@ -283,7 +331,8 @@ impl InferenceServer {
                 .round() as u64
                 + tables * config.table_overhead_ns
                 + uvm_rows * config.miss_latency_ns;
-            let start = free_at.max(arrivals_ns[task.query as usize]);
+            let arrival_ns = arrivals_ns[task.query as usize];
+            let start = free_at.max(arrival_ns);
             let done = start + service_ns;
             free_at = done;
             busy_ns += service_ns;
@@ -292,7 +341,37 @@ impl InferenceServer {
                 misses += m;
                 bypasses += b;
             }
+            if let Some(trace) = &mut trace {
+                trace.record(
+                    arrival_ns,
+                    TraceEvent::QueryServed {
+                        shard: gpu as u32,
+                        query: task.query as u64,
+                        start_ns: start,
+                        service_ns,
+                        wait_ns: start - arrival_ns,
+                        hits: h,
+                        misses: m,
+                        bypasses: b,
+                    },
+                );
+            }
             completions.push((task.query, done + hop_ns));
+        }
+        if let Some(trace) = &mut trace {
+            let stats = cache.stats();
+            trace.record(
+                free_at,
+                TraceEvent::CacheShard {
+                    shard: gpu as u32,
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    bypasses: stats.bypasses,
+                    evictions: stats.evictions,
+                    used_bytes: stats.used_bytes,
+                    pinned_bytes: stats.pinned_bytes,
+                },
+            );
         }
         ShardRun {
             completions,
@@ -300,17 +379,24 @@ impl InferenceServer {
             misses,
             bypasses,
             busy_ns,
+            trace,
         }
     }
 
     /// Fan-in: per-query latency, CDFs, hit rates, fingerprint.
+    ///
+    /// Latency quantiles live in a [`MetricsRegistry`] (`serve.latency_ms`)
+    /// rather than a hand-rolled CDF; traced runs share the collector's
+    /// registry (events routed through it push the very same sink), so the
+    /// exported snapshot and the report agree by construction.
     fn merge(
         plan: &ShardingPlan,
         stream: &RequestStream,
         caches: &[ShardedCache],
-        runs: Vec<ShardRun>,
+        mut runs: Vec<ShardRun>,
         capacity: u64,
         config: &ServeConfig,
+        mut obs: Option<&mut Collector>,
     ) -> ServeReport {
         let total_queries = (config.warmup + config.queries) as usize;
         let mut done_ns = vec![0u64; total_queries];
@@ -322,8 +408,17 @@ impl InferenceServer {
                 makespan_ns = makespan_ns.max(done);
             }
         }
+        // Shard-order ingestion keeps quantile push order deterministic.
+        if let Some(c) = obs.as_deref_mut() {
+            for run in &mut runs {
+                if let Some(buffer) = run.trace.take() {
+                    c.ingest_buffer(buffer);
+                }
+            }
+        }
 
-        let mut cdf = StreamingCdf::latency_defaults();
+        let mut own_registry = MetricsRegistry::new();
+        let latency_q = own_registry.quantile("serve.latency_ms");
         let mut fingerprint: u64 = 0xCBF2_9CE4_8422_2325;
         let mut fold = |word: u64| {
             fingerprint ^= word;
@@ -331,10 +426,29 @@ impl InferenceServer {
         };
         for q in config.warmup as usize..total_queries {
             let latency_ns = done_ns[q].saturating_sub(stream.arrivals_ns[q]);
-            cdf.push(latency_ns as f64 / 1e6);
+            match obs.as_deref_mut() {
+                // The collector routes the event into its own
+                // `serve.latency_ms` quantile — exactly one push per
+                // measured query either way, in query order.
+                Some(c) => c.record(
+                    done_ns[q],
+                    TraceEvent::QueryLatency {
+                        query: q as u64,
+                        latency_ns,
+                    },
+                ),
+                None => own_registry.record(latency_q, latency_ns as f64 / 1e6),
+            }
             fold(q as u64);
             fold(latency_ns);
         }
+        let latency_stats = match obs {
+            Some(c) => {
+                let q = c.registry_mut().quantile("serve.latency_ms");
+                c.registry().quantile_stats(q)
+            }
+            None => own_registry.quantile_stats(latency_q),
+        };
         let (hits, misses, bypasses) = runs.iter().fold((0, 0, 0), |(h, m, b), r| {
             (h + r.hits, m + r.misses, b + r.bypasses)
         });
@@ -374,10 +488,10 @@ impl InferenceServer {
                 .iter()
                 .map(|r| r.busy_ns as f64 / makespan_ns.max(1) as f64)
                 .collect(),
-            p50_ms: cdf.p50(),
-            p95_ms: cdf.p95(),
-            p99_ms: cdf.p99(),
-            latency: cdf.summary(),
+            p50_ms: latency_stats.p50,
+            p95_ms: latency_stats.p95,
+            p99_ms: latency_stats.p99,
+            latency: latency_stats.summary,
             makespan_ms: makespan_ns as f64 / 1e6,
             throughput_qps: if makespan_ns > 0 {
                 total_queries as f64 / (makespan_ns as f64 / 1e9)
@@ -442,6 +556,33 @@ mod tests {
         assert_eq!(a, b, "same seed must reproduce the identical report");
         let c = run(10);
         assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_report() {
+        let (model, profile, system) = setup();
+        let plan = hash_placement(&model, 2);
+        let cfg = config(PolicyKind::StatGuided);
+        let plain = InferenceServer::run(&model, &plan, &profile, &system, cfg);
+        let (traced, bundle) = InferenceServer::run_traced(&model, &plan, &profile, &system, cfg);
+        assert_eq!(plain, traced, "tracing must not perturb the report");
+        // At least one query_served span per measured query, one
+        // query_latency instant each, and one cache_shard record per shard.
+        assert!(bundle.trace.len() as u32 >= 2 * cfg.queries + 2);
+        let latency = bundle
+            .metrics
+            .entries
+            .iter()
+            .find(|(n, _)| n == "serve.latency_ms")
+            .map(|(_, v)| v.clone());
+        match latency {
+            Some(recshard_obs::MetricValue::Quantile(q)) => {
+                assert_eq!(q.count, cfg.queries as u64);
+                assert_eq!(q.p50, traced.p50_ms, "snapshot and report must agree");
+                assert_eq!(q.summary, traced.latency);
+            }
+            other => panic!("expected serve.latency_ms quantile, got {other:?}"),
+        }
     }
 
     #[test]
