@@ -9,12 +9,18 @@
 //! under `RECSHARD_BENCH_TIMING=1` — otherwise a `-1` sentinel keeps the
 //! artifact byte-stable, the same contract as `BENCH_solver.json`.
 //!
-//! Perf-trajectory gate: when `RECSHARD_BENCH_BASELINE` points at a
+//! A `contention` sweep rides along (uniform + incast scenarios, FIFO and
+//! shared-rate contention modes) and is serialised into the artifact's
+//! `contention` section — purely virtual quantities, byte-stable.
+//!
+//! Perf-trajectory gates: when `RECSHARD_BENCH_BASELINE` points at a
 //! previously committed `BENCH_des.json`, the run fails on events/sec
 //! regressions beyond `RECSHARD_BENCH_TOLERANCE` (default 25% — generous,
 //! because wall rates on shared runners are noisy; the gate catches
 //! instrumentation-scale slowdowns, not jitter). Event-log fingerprint
-//! drift against the baseline is *reported* but never fails the run.
+//! drift on committed point keys (main and contention sweeps) also fails
+//! the run — behavioural changes must be re-baselined deliberately — unless
+//! `RECSHARD_BENCH_ALLOW_DRIFT=1` acknowledges the drift as intentional.
 //!
 //! Observability export: when `RECSHARD_OBS_DIR` is set, the sweep's
 //! smallest flat point re-runs once with a collector attached and writes
@@ -23,7 +29,8 @@
 //!
 //! Environment overrides: `RECSHARD_DES_MAX_GPUS`, `RECSHARD_DES_ITERS`,
 //! `RECSHARD_SEED`, `RECSHARD_BENCH_TIMING`, `RECSHARD_BENCH_BASELINE`,
-//! `RECSHARD_BENCH_TOLERANCE`, `RECSHARD_OBS_DIR`.
+//! `RECSHARD_BENCH_TOLERANCE`, `RECSHARD_BENCH_ALLOW_DRIFT`,
+//! `RECSHARD_OBS_DIR`.
 
 use recshard_bench::des_bench::{
     fingerprint_drift, run_sweep, throughput_regressions, traced_smoke, DesBenchConfig,
@@ -57,8 +64,24 @@ fn main() {
             .unwrap_or(0.25);
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
-        for drift in fingerprint_drift(&report, &baseline) {
-            println!("note: {drift}");
+        let allow_drift = std::env::var("RECSHARD_BENCH_ALLOW_DRIFT").as_deref() == Ok("1");
+        let drifts = fingerprint_drift(&report, &baseline);
+        if drifts.is_empty() {
+            println!("no event-log fingerprint drift vs {baseline_path}");
+        } else if allow_drift {
+            for drift in &drifts {
+                println!("note (drift allowed): {drift}");
+            }
+        } else {
+            for drift in &drifts {
+                eprintln!("FINGERPRINT DRIFT: {drift}");
+            }
+            eprintln!(
+                "event-log fingerprints drifted from {baseline_path}; if the behaviour \
+                 change is intentional, re-run with RECSHARD_BENCH_ALLOW_DRIFT=1 and \
+                 commit the regenerated BENCH_des.json"
+            );
+            std::process::exit(1);
         }
         let regressions = throughput_regressions(&report, &baseline, tolerance);
         if regressions.is_empty() {
@@ -100,6 +123,7 @@ fn main() {
     let mut summary = RunReport::new("des_bench");
     summary
         .push("sweep points", report.points.len())
+        .push("contention points", report.contention.len())
         .push_fingerprint("report fingerprint", report.fingerprint());
     for p in &report.points {
         let key = format!("{} GPUs x {} node(s)", p.gpus, p.nodes);

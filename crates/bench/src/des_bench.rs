@@ -11,19 +11,27 @@
 //! JSON under `RECSHARD_BENCH_TIMING=1` (otherwise the [`TIMING_DISABLED`]
 //! sentinel keeps the artifact byte-stable, mirroring `BENCH_solver.json`).
 //!
-//! [`throughput_regressions`] is the CI gate: a generous relative
+//! A `contention` sweep rides along: the uniform flat plan and an incast
+//! plan (all tables concentrated on non-receiving nodes), each run under
+//! both [`ContentionMode`]s at the smallest GPU count. Its points carry no
+//! wall-clock fields at all — every number is a pure function of the seed
+//! — and the sweep asserts the shared-rate acceptance criterion in-line:
+//! incast p99 under processor sharing strictly exceeds the old
+//! split-bandwidth FIFO model's.
+//!
+//! [`throughput_regressions`] is one CI gate: a generous relative
 //! events/sec floor against a previously committed baseline, skipping
 //! sentinel/missing points so untimed or trimmed runs never false-positive.
-//! [`fingerprint_drift`] separately reports *behavioural* drift (any event
-//! log change), which is informational — plans legitimately change across
-//! solver work — while a throughput regression fails the build.
+//! [`fingerprint_drift`] is the other: *behavioural* drift (any event-log
+//! change) on committed point keys fails `des_bench` unless
+//! `RECSHARD_BENCH_ALLOW_DRIFT=1` acknowledges it as intentional.
 
 use crate::solver_bench::{bench_system, bench_topology, field_num, fnv_fold, TIMING_DISABLED};
 use crate::{skewed_model, Strategy};
 use recshard::{HierarchicalSolver, RecShardConfig};
-use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator, RunSummary};
+use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator, ContentionMode, RunSummary};
 use recshard_obs::{Collector, ObsBundle};
-use recshard_sharding::{ShardingPlan, SystemSpec};
+use recshard_sharding::{NodeTopology, ShardingPlan, SystemSpec, TablePlacement};
 use recshard_stats::{DatasetProfile, DatasetProfiler};
 use std::time::Instant;
 
@@ -42,6 +50,9 @@ pub struct DesBenchConfig {
     pub profile_samples: usize,
     /// Open-loop arrival interval, ms (identical across points).
     pub arrival_interval_ms: f64,
+    /// Iterations per point of the `contention` sweep (shorter than the
+    /// main sweep — four scenario × mode runs ride along).
+    pub contention_iterations: u64,
     /// Master seed.
     pub seed: u64,
     /// Measure wall-clock times and events/sec into the JSON (breaks
@@ -59,6 +70,7 @@ impl DesBenchConfig {
             batch_size: 32,
             profile_samples: 3_000,
             arrival_interval_ms: 2.0,
+            contention_iterations: 2_000,
             seed: 0xA5F0,
             include_timing: false,
         }
@@ -73,6 +85,7 @@ impl DesBenchConfig {
             batch_size: 16,
             profile_samples: 800,
             arrival_interval_ms: 2.0,
+            contention_iterations: 150,
             seed: 0xA5F0,
             include_timing: false,
         }
@@ -146,6 +159,36 @@ pub struct DesBenchPoint {
     pub events_per_sec: f64,
 }
 
+/// One `contention`-sweep point: one seeded DES run of one scenario under
+/// one [`ContentionMode`]. Everything here is a pure function of the seed
+/// (no wall-clock fields), so the section is byte-stable and its
+/// fingerprints are drift-gated like the main sweep's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionPoint {
+    /// Exchange traffic shape: `"uniform"` (the flat RecShard plan) or
+    /// `"incast"` (every table concentrated on the non-receiving nodes'
+    /// GPUs of a two-level topology).
+    pub scenario: String,
+    /// `"fifo"` or `"shared_rate"`.
+    pub mode: String,
+    /// GPUs simulated.
+    pub gpus: usize,
+    /// Nodes of the plan's topology (1 = flat).
+    pub nodes: usize,
+    /// Iterations simulated.
+    pub iterations: u64,
+    /// Total simulator events processed.
+    pub events: u64,
+    /// Virtual-time makespan, ms.
+    pub makespan_ms: f64,
+    /// Median iteration sojourn time, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile iteration sojourn time, ms.
+    pub p99_ms: f64,
+    /// Order-sensitive FNV-1a hash of the run's entire event log.
+    pub fingerprint: u64,
+}
+
 /// The full sweep result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesBenchReport {
@@ -156,6 +199,8 @@ pub struct DesBenchReport {
     /// Per-point results, sweep order (gpus outer; flat before
     /// hierarchical).
     pub points: Vec<DesBenchPoint>,
+    /// Contention-sweep results (scenario outer, FIFO before shared-rate).
+    pub contention: Vec<ContentionPoint>,
 }
 
 /// The flat and hierarchical plans of one sweep GPU count.
@@ -209,6 +254,89 @@ fn simulate(
     best.expect("at least one repetition")
 }
 
+/// The incast plan of the contention sweep: every table lives (all-HBM) on
+/// a GPU of nodes `1..`, so the inter-node phase converges all sender flows
+/// onto each receiving node's fabric port at once.
+fn incast_plan(cfg: &DesBenchConfig, topology: NodeTopology) -> ShardingPlan {
+    let model = skewed_model(cfg.tables);
+    let gpus = topology.num_gpus();
+    let senders = gpus - topology.gpus_per_node;
+    let placements: Vec<TablePlacement> = model
+        .features()
+        .iter()
+        .map(|f| TablePlacement {
+            table: f.id,
+            gpu: topology.gpus_per_node + f.id.index() % senders,
+            hbm_rows: f.hash_size,
+            total_rows: f.hash_size,
+            row_bytes: f.row_bytes(),
+        })
+        .collect();
+    ShardingPlan::new("incast", gpus, placements).with_topology(topology)
+}
+
+/// Runs the `contention` sweep: the uniform flat plan and the incast plan,
+/// each once per [`ContentionMode`], at the smallest sweep GPU count.
+///
+/// # Panics
+///
+/// Panics if the incast scenario's shared-rate p99 does not strictly exceed
+/// its FIFO p99 — the acceptance criterion of the shared-rate contention
+/// model (the old split-bandwidth exchange cannot see incast queueing).
+fn run_contention_sweep(cfg: &DesBenchConfig, profile: &DatasetProfile) -> Vec<ContentionPoint> {
+    let gpus = *cfg.gpu_counts.first().expect("sweep needs a GPU count");
+    let model = skewed_model(cfg.tables);
+    let system = bench_system(model.total_bytes(), gpus);
+    let uniform = Strategy::RecShard.plan(&model, profile, &system);
+    let incast = incast_plan(cfg, bench_topology(gpus));
+    let mut points = Vec::new();
+    for (scenario, plan) in [("uniform", &uniform), ("incast", &incast)] {
+        let mut p99_by_mode = Vec::new();
+        for (mode, contention) in [
+            ("fifo", ContentionMode::Fifo),
+            ("shared_rate", ContentionMode::SharedRate),
+        ] {
+            let config = ClusterConfig {
+                iterations: cfg.contention_iterations,
+                contention,
+                ..cfg.cluster_config()
+            };
+            let summary = ClusterSimulator::new(&model, plan, profile, &system, config).run();
+            println!(
+                "des_bench contention: {scenario}/{mode} on {gpus} GPUs x {} node(s): \
+                 {} events, sojourn p50/p99 {:.3}/{:.3} ms, fingerprint {:#018x}",
+                plan.effective_topology().num_nodes,
+                summary.events,
+                summary.p50_ms,
+                summary.p99_ms,
+                summary.fingerprint,
+            );
+            p99_by_mode.push(summary.p99_ms);
+            points.push(ContentionPoint {
+                scenario: scenario.to_string(),
+                mode: mode.to_string(),
+                gpus,
+                nodes: plan.effective_topology().num_nodes,
+                iterations: summary.completed,
+                events: summary.events,
+                makespan_ms: summary.makespan_ms,
+                p50_ms: summary.p50_ms,
+                p99_ms: summary.p99_ms,
+                fingerprint: summary.fingerprint,
+            });
+        }
+        if scenario == "incast" {
+            assert!(
+                p99_by_mode[1] > p99_by_mode[0],
+                "incast shared-rate p99 ({}) must exceed the FIFO model's ({})",
+                p99_by_mode[1],
+                p99_by_mode[0],
+            );
+        }
+    }
+    points
+}
+
 /// Runs the sweep.
 pub fn run_sweep(cfg: &DesBenchConfig) -> DesBenchReport {
     let model = skewed_model(cfg.tables);
@@ -252,10 +380,12 @@ pub fn run_sweep(cfg: &DesBenchConfig) -> DesBenchReport {
             });
         }
     }
+    let contention = run_contention_sweep(cfg, &profile);
     DesBenchReport {
         seed: cfg.seed,
         timed: cfg.include_timing,
         points,
+        contention,
     }
 }
 
@@ -313,6 +443,32 @@ impl DesBenchReport {
                 if i + 1 < self.points.len() { "," } else { "" },
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"contention\": [\n");
+        for (i, p) in self.contention.iter().enumerate() {
+            let f = |x: f64| format!("{x:.9e}");
+            out.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"mode\": \"{}\", \"gpus\": {}, \
+                 \"nodes\": {}, \"iterations\": {}, \"events\": {}, \
+                 \"makespan_ms\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+                 \"fingerprint\": \"{:#018x}\"}}{}\n",
+                p.scenario,
+                p.mode,
+                p.gpus,
+                p.nodes,
+                p.iterations,
+                p.events,
+                f(p.makespan_ms),
+                f(p.p50_ms),
+                f(p.p99_ms),
+                p.fingerprint,
+                if i + 1 < self.contention.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -342,10 +498,23 @@ fn field_fingerprint(line: &str) -> Option<&str> {
     Some(&rest[..rest.find('"')?])
 }
 
-/// Parses the `(gpus, nodes, iterations)` identity of one baseline point
-/// line (the key the gates match on).
-fn point_key(line: &str) -> Option<(usize, usize, u64)> {
+/// Extracts a quoted string field from one canonical-JSON point line.
+fn field_str<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"{name}\": \"");
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Parses the `(scenario, mode, gpus, nodes, iterations)` identity of one
+/// baseline point line (the key the gates match on). Main-sweep points —
+/// and every line of a baseline predating the contention sweep — carry no
+/// scenario/mode fields, which parse as empty strings, so old baselines
+/// keep matching the main sweep and never collide with contention keys.
+fn point_key(line: &str) -> Option<(String, String, usize, usize, u64)> {
     Some((
+        field_str(line, "scenario").unwrap_or("").to_string(),
+        field_str(line, "mode").unwrap_or("").to_string(),
         field_num(line, "gpus")? as usize,
         field_num(line, "nodes")? as usize,
         field_num(line, "iterations")? as u64,
@@ -379,8 +548,8 @@ pub fn throughput_regressions(
         if p.events_per_sec <= 0.0 {
             continue; // sentinel: this run was untimed
         }
-        let key = (p.gpus, p.nodes, p.iterations);
-        let Some(&(_, base)) = baseline.iter().find(|&&(k, _)| k == key) else {
+        let key = (String::new(), String::new(), p.gpus, p.nodes, p.iterations);
+        let Some(&(_, base)) = baseline.iter().find(|(k, _)| *k == key) else {
             continue;
         };
         if base <= 0.0 {
@@ -403,10 +572,13 @@ pub fn throughput_regressions(
 }
 
 /// Compares event-log fingerprints against a previously committed
-/// `BENCH_des.json` payload (matched on `gpus` × `nodes` × `iterations`)
-/// and returns one line per drifted point. Drift means the simulated
-/// behaviour changed — legitimate when solver work changes plans, so this
-/// is reported, not failed.
+/// `BENCH_des.json` payload (matched on `scenario` × `mode` × `gpus` ×
+/// `nodes` × `iterations`; main-sweep keys have empty scenario/mode) and
+/// returns one line per drifted point, contention sweep included. Drift
+/// means the simulated behaviour changed — `des_bench` *fails* on it
+/// unless `RECSHARD_BENCH_ALLOW_DRIFT=1` acknowledges an intentional
+/// change (e.g. solver work that legitimately moves plans); points missing
+/// on either side are skipped, so trimmed sweeps never false-positive.
 pub fn fingerprint_drift(current: &DesBenchReport, baseline_json: &str) -> Vec<String> {
     let mut baseline = Vec::new(); // (key, fingerprint string)
     for line in baseline_json.lines() {
@@ -416,19 +588,41 @@ pub fn fingerprint_drift(current: &DesBenchReport, baseline_json: &str) -> Vec<S
         baseline.push((key, fp.to_string()));
     }
     let mut drifted = Vec::new();
-    for p in &current.points {
-        let key = (p.gpus, p.nodes, p.iterations);
+    let mut check = |key: (String, String, usize, usize, u64), fingerprint: u64| {
         let Some((_, base)) = baseline.iter().find(|(k, _)| *k == key) else {
-            continue;
+            return;
         };
-        let fp = format!("{:#018x}", p.fingerprint);
+        let fp = format!("{fingerprint:#018x}");
         if &fp != base {
+            let (scenario, mode, gpus, nodes, iterations) = key;
+            let label = if scenario.is_empty() {
+                String::new()
+            } else {
+                format!("{scenario}/{mode} ")
+            };
             drifted.push(format!(
-                "{} GPUs x {} node(s) x {} iters: event-log fingerprint {fp} differs from \
-                 baseline {base}",
-                p.gpus, p.nodes, p.iterations,
+                "{label}{gpus} GPUs x {nodes} node(s) x {iterations} iters: event-log \
+                 fingerprint {fp} differs from baseline {base}",
             ));
         }
+    };
+    for p in &current.points {
+        check(
+            (String::new(), String::new(), p.gpus, p.nodes, p.iterations),
+            p.fingerprint,
+        );
+    }
+    for p in &current.contention {
+        check(
+            (
+                p.scenario.clone(),
+                p.mode.clone(),
+                p.gpus,
+                p.nodes,
+                p.iterations,
+            ),
+            p.fingerprint,
+        );
     }
     drifted
 }
@@ -455,6 +649,26 @@ mod tests {
             assert_eq!(p.wall_ms, TIMING_DISABLED);
             assert_eq!(p.events_per_sec, TIMING_DISABLED);
         }
+        assert_eq!(
+            a.contention.len(),
+            4,
+            "uniform + incast, each under both contention modes"
+        );
+        for p in &a.contention {
+            assert_eq!(p.iterations, cfg.contention_iterations);
+            assert!(p.p50_ms > 0.0 && p.p50_ms <= p.p99_ms);
+        }
+        let find = |scenario: &str, mode: &str| {
+            a.contention
+                .iter()
+                .find(|p| p.scenario == scenario && p.mode == mode)
+                .unwrap_or_else(|| panic!("missing contention point {scenario}/{mode}"))
+        };
+        // The sweep itself asserts this, but pin the acceptance criterion
+        // here too: incast queueing is visible only to the shared-rate model.
+        assert!(find("incast", "shared_rate").p99_ms > find("incast", "fifo").p99_ms);
+        assert!(find("incast", "fifo").nodes > 1);
+        assert_eq!(find("uniform", "fifo").nodes, 1);
     }
 
     #[test]
@@ -512,6 +726,16 @@ mod tests {
         drifted.points[0].fingerprint ^= 1;
         assert_eq!(fingerprint_drift(&drifted, &baseline).len(), 1);
         assert!(throughput_regressions(&drifted, &baseline, 0.25).is_empty());
+
+        // Contention points are drift-gated on their own scenario/mode keys.
+        let mut cdrift = report.clone();
+        cdrift.contention[0].fingerprint ^= 1;
+        let lines = fingerprint_drift(&cdrift, &baseline);
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].contains(&cdrift.contention[0].scenario),
+            "drift line must name the scenario: {lines:?}"
+        );
 
         // Trimming the sweep on either side is ignored.
         let mut trimmed = report.clone();

@@ -22,9 +22,28 @@
 //! with the arrival rate builds a queue and its tail latency diverges — the
 //! sustained-throughput behaviour the closed-form model in
 //! `recshard-memsim` cannot express.
+//!
+//! # Contention modes
+//!
+//! [`ContentionMode::Fifo`] (the default) is the historical model: each GPU
+//! is a single-server FIFO queue and the all-to-all exchange is one
+//! precomputed scalar delay. [`ContentionMode::SharedRate`] replaces both
+//! with shared-rate (processor-sharing) links — per-GPU HBM and UVM
+//! channels, per-GPU NVLink egress, and one inter-node fabric port per
+//! *receiving* node — so overlapping iterations slow each other down and
+//! incast (many senders converging on one node's NIC) shows up in the
+//! sojourn tail. The exchange runs as a hierarchical reduce-scatter over
+//! the plan's two-level topology: an intra-node phase on the NVLink links,
+//! then an inter-node phase in which every ordered node pair's flow
+//! contends on the receiver's fabric link. This also fixes the old
+//! split-bandwidth bug where local and remote transfer times were *summed*
+//! into one serial scalar — the phases now occupy separate contended
+//! resources with their own queueing.
 
 use crate::controller::{CheckOutcome, ReshardController};
 use crate::engine::EventQueue;
+use crate::error::{check_bandwidth, check_duration, DesError};
+use crate::resource::{CompletedTransfer, SharedRateResource};
 use crate::station::{GpuStation, ServiceDemand};
 use crate::time::SimTime;
 use crate::workload::{ArrivalProcess, IterationWorkload};
@@ -33,11 +52,24 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recshard_data::ModelSpec;
 use recshard_memsim::AccessCounters;
-use recshard_obs::{ObsHandle, ObsSink, TraceEvent};
-use recshard_sharding::{ShardingPlan, SystemSpec};
+use recshard_obs::{LinkKind, ObsHandle, ObsSink, TraceEvent};
+use recshard_sharding::{FabricSpec, NodeTopology, ShardingPlan, SystemSpec};
 use recshard_stats::{DatasetProfile, StreamingCdf, Summary, WelfordAccumulator};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// How contended resources are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ContentionMode {
+    /// Historical model: per-GPU single-server FIFO stations, one scalar
+    /// all-to-all delay. Bit-compatible with every committed fingerprint.
+    #[default]
+    Fifo,
+    /// Shared-rate (processor-sharing) links for HBM, UVM, NVLink egress and
+    /// per-node fabric ports; the exchange is a two-phase hierarchical
+    /// reduce-scatter over first-class link stations.
+    SharedRate,
+}
 
 /// Configuration of a cluster simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -63,9 +95,13 @@ pub struct ClusterConfig {
     pub alltoall_bandwidth_gbps: f64,
     /// Per-GPU bandwidth of the inter-node fabric in GB/s (RoCE/IB-class;
     /// only exercised when the plan carries a multi-node
-    /// [`NodeTopology`](recshard_sharding::NodeTopology) — flat plans see
-    /// exactly the single-fabric exchange).
+    /// [`NodeTopology`] — flat plans see exactly the single-fabric
+    /// exchange). In [`ContentionMode::SharedRate`] this is the rate of each
+    /// *receiving node's* fabric port, which all inbound flows share.
     pub internode_bandwidth_gbps: f64,
+    /// How contended resources are scheduled (FIFO stations vs shared-rate
+    /// links).
+    pub contention: ContentionMode,
 }
 
 impl Default for ClusterConfig {
@@ -80,7 +116,47 @@ impl Default for ClusterConfig {
             alltoall_latency_us: 20.0,
             alltoall_bandwidth_gbps: 150.0,
             internode_bandwidth_gbps: 25.0,
+            contention: ContentionMode::Fifo,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Validates the configuration: run dimensions non-empty, arrival
+    /// intervals sane, overheads/latencies non-negative and finite,
+    /// bandwidths positive and finite (a zero or negative bandwidth used to
+    /// silently produce inf/NaN transfer seconds at `exchange_ns_for`'s
+    /// divisions).
+    pub fn validate(&self) -> Result<(), DesError> {
+        if self.iterations == 0 {
+            return Err(DesError::EmptyRun {
+                what: "must simulate at least one iteration",
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(DesError::EmptyRun {
+                what: "batch must contain at least one sample",
+            });
+        }
+        self.arrival.validate()?;
+        check_duration(
+            "kernel_overhead_us_per_table",
+            self.kernel_overhead_us_per_table,
+        )?;
+        check_duration("alltoall_latency_us", self.alltoall_latency_us)?;
+        check_bandwidth("alltoall_bandwidth_gbps", self.alltoall_bandwidth_gbps)?;
+        check_bandwidth("internode_bandwidth_gbps", self.internode_bandwidth_gbps)?;
+        Ok(())
+    }
+
+    /// Adopts the link rates of a shared [`FabricSpec`], so the DES, the
+    /// analytical estimator and the serving simulator price the same fabric
+    /// identically.
+    pub fn with_fabric(mut self, fabric: FabricSpec) -> Self {
+        self.alltoall_bandwidth_gbps = fabric.nvlink_gbps;
+        self.internode_bandwidth_gbps = fabric.fabric_gbps;
+        self.alltoall_latency_us = fabric.base_latency_us;
+        self
     }
 }
 
@@ -93,6 +169,13 @@ enum Event {
     GpuDone { iter: u64, gpu: usize },
     /// The all-to-all exchange of an iteration finished.
     ExchangeDone { iter: u64 },
+    /// A GPU's memory gathers begin after launch overhead (shared-rate mode
+    /// only).
+    GatherStart { iter: u64, gpu: usize },
+    /// Wake-up at a shared-rate link's earliest projected completion. The
+    /// generation stamps the tenancy state the projection was made under; a
+    /// stale wake-up (the link changed tenancy since) is ignored when popped.
+    LinkUpdate { link: usize, generation: u64 },
 }
 
 /// In-flight bookkeeping of one iteration.
@@ -103,6 +186,168 @@ struct InFlight {
     /// When the first GPU finished its gather — the barrier wait of the
     /// iteration spans from here to the last GPU's finish.
     first_done: SimTime,
+}
+
+/// Which pipeline stage a shared-rate transfer implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransferStage {
+    /// The HBM share of one GPU's gather.
+    Hbm { gpu: usize },
+    /// The UVM share of one GPU's gather (runs after the HBM share).
+    Uvm { gpu: usize },
+    /// One GPU's intra-node exchange share on its NVLink egress.
+    Local { gpu: usize },
+    /// One ordered node pair's inter-node flow, served by the *receiver's*
+    /// fabric port.
+    Remote { dst: usize },
+}
+
+/// Payload of one shared-rate transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Transfer {
+    iter: u64,
+    stage: TransferStage,
+}
+
+/// One GPU's gather job in flight on the shared-rate memory links.
+#[derive(Debug, Clone, Copy)]
+struct GatherJob {
+    arrival: SimTime,
+    /// When the job actually started (arrival delayed past any migration
+    /// stall); launch overhead runs from here.
+    start: SimTime,
+    demand: ServiceDemand,
+}
+
+/// Progress of one iteration's two-phase exchange.
+#[derive(Debug, Clone, Copy)]
+struct ExchangeState {
+    /// When the barrier opened and the intra-node phase started.
+    start: SimTime,
+    /// Transfers outstanding in the current phase.
+    pending: u32,
+}
+
+/// The shared-rate link fabric: all contended links, per-plan transfer
+/// volumes, and in-flight gather/exchange bookkeeping.
+///
+/// Link index layout (`g` GPUs, `n` nodes): HBM channels `0..g`, UVM
+/// channels `g..2g`, NVLink egress `2g..3g`, per-node fabric ports
+/// `3g..3g+n`.
+#[derive(Debug)]
+struct Contention {
+    links: Vec<SharedRateResource<Transfer>>,
+    topology: NodeTopology,
+    num_gpus: usize,
+    latency_ns: u64,
+    /// Per-GPU solo NVLink nanoseconds of the intra-node exchange phase.
+    local_work_ns: Vec<u64>,
+    /// `remote_work_ns[src][dst]` (src ≠ dst): solo fabric nanoseconds of
+    /// the src→dst node flow on dst's fabric port.
+    remote_work_ns: Vec<Vec<u64>>,
+    gathers: HashMap<(u64, usize), GatherJob>,
+    exchanges: HashMap<u64, ExchangeState>,
+    /// Per-GPU earliest virtual time new gathers may start (pushed out by
+    /// migration stalls).
+    stalled_until: Vec<SimTime>,
+}
+
+impl Contention {
+    fn new(topology: NodeTopology, latency_ns: u64) -> Self {
+        let num_gpus = topology.num_gpus();
+        let num_links = 3 * num_gpus + topology.num_nodes;
+        Self {
+            links: (0..num_links).map(|_| SharedRateResource::new()).collect(),
+            topology,
+            num_gpus,
+            latency_ns,
+            local_work_ns: vec![0; num_gpus],
+            remote_work_ns: vec![vec![0; topology.num_nodes]; topology.num_nodes],
+            gathers: HashMap::new(),
+            exchanges: HashMap::new(),
+            stalled_until: vec![SimTime::ZERO; num_gpus],
+        }
+    }
+
+    fn hbm_link(&self, gpu: usize) -> usize {
+        gpu
+    }
+
+    fn uvm_link(&self, gpu: usize) -> usize {
+        self.num_gpus + gpu
+    }
+
+    fn nvlink_link(&self, gpu: usize) -> usize {
+        2 * self.num_gpus + gpu
+    }
+
+    fn fabric_link(&self, node: usize) -> usize {
+        3 * self.num_gpus + node
+    }
+
+    /// The kind and device index of a link, for trace events.
+    fn link_kind(&self, link: usize) -> (LinkKind, u32) {
+        let g = self.num_gpus;
+        if link < g {
+            (LinkKind::Hbm, link as u32)
+        } else if link < 2 * g {
+            (LinkKind::Uvm, (link - g) as u32)
+        } else if link < 3 * g {
+            (LinkKind::Nvlink, (link - 2 * g) as u32)
+        } else {
+            (LinkKind::Fabric, (link - 3 * g) as u32)
+        }
+    }
+
+    /// Recomputes per-plan exchange volumes. Every GPU's pooled outputs are
+    /// owed to all peers in proportion to the batch share each peer
+    /// processes:
+    ///
+    /// * intra-node phase — GPU `g` ships `owned_bytes[g] · (p−1)/G` over
+    ///   its NVLink egress (`p` GPUs per node, `G` total GPUs);
+    /// * inter-node phase — node `a` ships `node_bytes[a] / N` to each
+    ///   other node, and that flow is served by the *receiver's* fabric
+    ///   port, so `N−1` inbound flows contend there (incast).
+    ///
+    /// On a uniform flat plan this reduces exactly to the historical
+    /// `batch · pooled_bytes · (G−1)/G²` per-GPU exchange volume.
+    ///
+    /// In-flight transfers keep the volumes they were admitted with; only
+    /// gathers and exchanges starting after a re-shard see the new plan.
+    fn rebuild_volumes(&mut self, plan: &ShardingPlan, config: &ClusterConfig) {
+        let g_total = self.num_gpus as f64;
+        let p = self.topology.gpus_per_node as f64;
+        let n = self.topology.num_nodes;
+        let effective_batch = config
+            .scale_to_batch
+            .map(|b| b as f64)
+            .unwrap_or(config.batch_size as f64);
+        let mut owned_bytes = vec![0.0f64; self.num_gpus];
+        for placement in plan.placements() {
+            owned_bytes[placement.gpu] += effective_batch * placement.row_bytes as f64;
+        }
+        for (gpu, &bytes) in owned_bytes.iter().enumerate() {
+            let local_bytes = bytes * (p - 1.0) / g_total;
+            self.local_work_ns[gpu] = SimTime::saturating_ns_from_secs(
+                local_bytes / (config.alltoall_bandwidth_gbps * 1e9),
+            );
+        }
+        let mut node_bytes = vec![0.0f64; n];
+        for (gpu, &bytes) in owned_bytes.iter().enumerate() {
+            node_bytes[self.topology.node_of_gpu(gpu)] += bytes;
+        }
+        for src in 0..n {
+            for dst in 0..n {
+                self.remote_work_ns[src][dst] = if src == dst {
+                    0
+                } else {
+                    SimTime::saturating_ns_from_secs(
+                        node_bytes[src] / n as f64 / (config.internode_bandwidth_gbps * 1e9),
+                    )
+                };
+            }
+        }
+    }
 }
 
 /// Aggregated results of one simulated run. Two runs with identical inputs
@@ -205,6 +450,7 @@ pub struct ClusterSimulator<'obs> {
     current_month: u32,
     controller: Option<ReshardController>,
     fingerprint: u64,
+    contention: Option<Contention>,
     obs: ObsHandle<'obs>,
 }
 
@@ -214,7 +460,10 @@ impl<'obs> ClusterSimulator<'obs> {
     /// # Panics
     ///
     /// Panics if the inputs disagree on feature or GPU counts, or if the
-    /// configuration requests zero iterations or an empty batch.
+    /// configuration is invalid (zero iterations, empty batch, degenerate
+    /// arrival interval, non-positive bandwidths). Use
+    /// [`try_new`](Self::try_new) to receive the failure as a typed
+    /// [`DesError`] instead.
     pub fn new(
         model: &ModelSpec,
         plan: &ShardingPlan,
@@ -222,22 +471,56 @@ impl<'obs> ClusterSimulator<'obs> {
         system: &SystemSpec,
         config: ClusterConfig,
     ) -> Self {
-        assert!(
-            config.iterations > 0,
-            "must simulate at least one iteration"
-        );
-        assert!(
-            config.batch_size > 0,
-            "batch must contain at least one sample"
-        );
-        assert_eq!(
-            plan.num_gpus(),
-            system.num_gpus(),
-            "plan/system GPU count mismatch"
-        );
+        Self::try_new(model, plan, profile, system, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a simulator, returning a typed error on an invalid
+    /// configuration instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`DesError::EmptyRun`] for zero iterations or an empty batch,
+    /// [`DesError::InvalidArrival`] for degenerate arrival intervals,
+    /// [`DesError::NonPositiveBandwidth`] /
+    /// [`DesError::InvalidDuration`] for poisoned link parameters (config
+    /// *and* per-GPU system bandwidths — both feed divisions that used to
+    /// yield silent inf/NaN), and [`DesError::GpuCountMismatch`] when plan
+    /// and system disagree.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if model, plan and profile disagree on the feature
+    /// count (that is a caller bug, not a configuration value).
+    pub fn try_new(
+        model: &ModelSpec,
+        plan: &ShardingPlan,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        config: ClusterConfig,
+    ) -> Result<Self, DesError> {
+        config.validate()?;
+        if plan.num_gpus() != system.num_gpus() {
+            return Err(DesError::GpuCountMismatch {
+                plan: plan.num_gpus(),
+                system: system.num_gpus(),
+            });
+        }
+        for gpu in 0..system.num_gpus() {
+            check_bandwidth("hbm_bandwidth_gbps", system.hbm_bandwidth_gbps(gpu))?;
+            check_bandwidth("uvm_bandwidth_gbps", system.uvm_bandwidth_gbps(gpu))?;
+        }
         let workload = IterationWorkload::new(model, plan, profile);
         let num_gpus = plan.num_gpus();
-        Self {
+        let contention = match config.contention {
+            ContentionMode::Fifo => None,
+            ContentionMode::SharedRate => {
+                let latency_ns = SimTime::from_us(config.alltoall_latency_us).as_ns();
+                let mut c = Contention::new(plan.effective_topology(), latency_ns);
+                c.rebuild_volumes(plan, &config);
+                Some(c)
+            }
+        };
+        Ok(Self {
             config,
             system: system.clone(),
             base_model: model.clone(),
@@ -257,8 +540,9 @@ impl<'obs> ClusterSimulator<'obs> {
             current_month: 0,
             controller: None,
             fingerprint: 0xCBF2_9CE4_8422_2325,
+            contention,
             obs: ObsHandle::noop(),
-        }
+        })
     }
 
     /// Attaches a feature-drift schedule: the workload's pooling statistics
@@ -284,11 +568,18 @@ impl<'obs> ClusterSimulator<'obs> {
         self
     }
 
-    /// All-to-all time: every GPU exchanges its share of the batch's pooled
-    /// embedding vectors with every other GPU. Two-level plans split the
-    /// exchange across fabrics: the share of a GPU's peers living on other
-    /// nodes ([`NodeTopology::remote_peer_fraction`](recshard_sharding::NodeTopology::remote_peer_fraction))
-    /// crosses the slower inter-node link.
+    /// All-to-all time of the legacy FIFO model: every GPU exchanges its
+    /// share of the batch's pooled embedding vectors with every other GPU.
+    /// Two-level plans split the exchange across fabrics: the share of a
+    /// GPU's peers living on other nodes
+    /// ([`NodeTopology::remote_peer_fraction`]) crosses the slower
+    /// inter-node link.
+    ///
+    /// Known modeling artifact, kept bit-for-bit for fingerprint
+    /// compatibility: the local and remote phase times are *summed* into one
+    /// serial scalar, so NVLink/fabric overlap and per-link queueing are
+    /// invisible. [`ContentionMode::SharedRate`] replaces this with separate
+    /// contended link stations per phase.
     fn exchange_ns_for(
         model: &ModelSpec,
         plan: &ShardingPlan,
@@ -339,6 +630,8 @@ impl<'obs> ClusterSimulator<'obs> {
             Event::Arrival { iter } => (1u64, iter, 0),
             Event::GpuDone { iter, gpu } => (2, iter, gpu as u64),
             Event::ExchangeDone { iter } => (3, iter, 0),
+            Event::GatherStart { iter, gpu } => (4, iter, gpu as u64),
+            Event::LinkUpdate { link, generation } => (5, link as u64, generation),
         };
         for word in [time.as_ns(), seq, tag, a, b] {
             self.fingerprint ^= word;
@@ -362,34 +655,59 @@ impl<'obs> ClusterSimulator<'obs> {
             .workload
             .sample_iteration(self.config.batch_size, &mut self.workload_rng);
         let obs_on = self.obs.enabled();
-        for (gpu, c) in counters.iter().enumerate() {
-            let demand = self.demand_for(gpu, c);
-            let completion = self.stations[gpu].submit(now, demand);
-            if obs_on {
-                let service_ns = demand.total_ns();
-                let start_ns = completion.as_ns() - service_ns;
-                let wait_ns = start_ns - now.as_ns();
-                self.obs.record(
-                    now.as_ns(),
-                    TraceEvent::StationEnqueue {
-                        gpu: gpu as u32,
-                        iter,
-                        queue_ns: wait_ns,
+        if let Some(mut contention) = self.contention.take() {
+            // Shared-rate mode: busy accounting happens up front; the
+            // gathers start after any migration stall plus launch overhead
+            // and then contend on the HBM/UVM links. (The contention state
+            // is moved out for the loop so `demand_for` can borrow `self`.)
+            for (gpu, c) in counters.iter().enumerate() {
+                let demand = self.demand_for(gpu, c);
+                self.stations[gpu].account(demand);
+                let start = contention.stalled_until[gpu].max(now);
+                contention.gathers.insert(
+                    (iter, gpu),
+                    GatherJob {
+                        arrival: now,
+                        start,
+                        demand,
                     },
                 );
-                self.obs.record(
-                    now.as_ns(),
-                    TraceEvent::StationService {
-                        gpu: gpu as u32,
-                        iter,
-                        start_ns,
-                        service_ns,
-                        wait_ns,
-                    },
+                self.queue.schedule_at(
+                    start.after_ns(demand.overhead_ns),
+                    Event::GatherStart { iter, gpu },
                 );
             }
-            self.queue
-                .schedule_at(completion, Event::GpuDone { iter, gpu });
+            self.contention = Some(contention);
+        } else {
+            for (gpu, c) in counters.iter().enumerate() {
+                let demand = self.demand_for(gpu, c);
+                let completion = self.stations[gpu].submit(now, demand);
+                if obs_on {
+                    let service_ns = demand.total_ns();
+                    let start_ns = completion.as_ns() - service_ns;
+                    let wait_ns = start_ns - now.as_ns();
+                    self.obs.record(
+                        now.as_ns(),
+                        TraceEvent::StationEnqueue {
+                            gpu: gpu as u32,
+                            iter,
+                            queue_ns: wait_ns,
+                        },
+                    );
+                    self.obs.record(
+                        now.as_ns(),
+                        TraceEvent::StationService {
+                            gpu: gpu as u32,
+                            iter,
+                            start_ns,
+                            service_ns,
+                            wait_ns,
+                        },
+                    );
+                }
+                self.queue
+                    .schedule_at(completion, Event::GpuDone { iter, gpu });
+            }
         }
         self.in_flight.insert(
             iter,
@@ -405,6 +723,22 @@ impl<'obs> ClusterSimulator<'obs> {
             self.queue
                 .schedule_after_ns(gap, Event::Arrival { iter: iter + 1 });
         }
+    }
+
+    /// Launch overhead elapsed (shared-rate mode): the GPU's HBM gather
+    /// share enters contention; its UVM share follows serially.
+    fn handle_gather_start(&mut self, iter: u64, gpu: usize) {
+        let contention = self.contention.as_ref().expect("shared-rate mode");
+        let hbm_ns = contention.gathers[&(iter, gpu)].demand.hbm_ns;
+        let link = contention.hbm_link(gpu);
+        self.admit_transfer(
+            link,
+            hbm_ns,
+            Transfer {
+                iter,
+                stage: TransferStage::Hbm { gpu },
+            },
+        );
     }
 
     fn handle_gpu_done(&mut self, iter: u64) {
@@ -429,16 +763,261 @@ impl<'obs> ClusterSimulator<'obs> {
                         wait_ns: now.since(first_done),
                     },
                 );
-                self.obs.record(
-                    now.as_ns(),
-                    TraceEvent::Exchange {
+            }
+            if self.contention.is_some() {
+                self.start_exchange(iter);
+            } else {
+                if self.obs.enabled() {
+                    self.obs.record(
+                        now.as_ns(),
+                        TraceEvent::Exchange {
+                            iter,
+                            duration_ns: self.exchange_ns,
+                        },
+                    );
+                }
+                self.queue
+                    .schedule_after_ns(self.exchange_ns, Event::ExchangeDone { iter });
+            }
+        }
+    }
+
+    /// Opens the two-phase exchange of `iter` (shared-rate mode): every GPU
+    /// admits its intra-node share onto its NVLink egress; the inter-node
+    /// phase follows once all local shares have drained.
+    fn start_exchange(&mut self, iter: u64) {
+        let now = self.queue.now();
+        let contention = self.contention.as_mut().expect("shared-rate mode");
+        let num_gpus = contention.num_gpus;
+        contention.exchanges.insert(
+            iter,
+            ExchangeState {
+                start: now,
+                pending: num_gpus as u32,
+            },
+        );
+        for gpu in 0..num_gpus {
+            let contention = self.contention.as_ref().expect("shared-rate mode");
+            let link = contention.nvlink_link(gpu);
+            let work_ns = contention.local_work_ns[gpu];
+            self.admit_transfer(
+                link,
+                work_ns,
+                Transfer {
+                    iter,
+                    stage: TransferStage::Local { gpu },
+                },
+            );
+        }
+    }
+
+    /// Starts the inter-node phase of `iter`: each ordered node pair's flow
+    /// is admitted on the *receiver's* fabric port, so all inbound flows to
+    /// one node contend there (incast).
+    fn start_remote_phase(&mut self, iter: u64) {
+        let contention = self.contention.as_mut().expect("shared-rate mode");
+        let n = contention.topology.num_nodes;
+        let state = contention
+            .exchanges
+            .get_mut(&iter)
+            .expect("remote phase for unknown exchange");
+        state.pending = (n * (n - 1)) as u32;
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let contention = self.contention.as_ref().expect("shared-rate mode");
+                let link = contention.fabric_link(dst);
+                let work_ns = contention.remote_work_ns[src][dst];
+                self.admit_transfer(
+                    link,
+                    work_ns,
+                    Transfer {
                         iter,
-                        duration_ns: self.exchange_ns,
+                        stage: TransferStage::Remote { dst },
                     },
                 );
             }
+        }
+    }
+
+    /// Closes the exchange of `iter`: the base all-to-all latency is charged
+    /// on top of the contended transfer phases.
+    fn finish_exchange(&mut self, iter: u64) {
+        let now = self.queue.now();
+        let contention = self.contention.as_mut().expect("shared-rate mode");
+        let latency_ns = contention.latency_ns;
+        let state = contention
+            .exchanges
+            .remove(&iter)
+            .expect("finished an unknown exchange");
+        if self.obs.enabled() {
+            self.obs.record(
+                state.start.as_ns(),
+                TraceEvent::Exchange {
+                    iter,
+                    duration_ns: now.since(state.start) + latency_ns,
+                },
+            );
+        }
+        self.queue
+            .schedule_after_ns(latency_ns, Event::ExchangeDone { iter });
+    }
+
+    /// Admits a transfer on `link` at the current virtual time, re-estimating
+    /// every resident tenant's remaining service, and schedules the link's
+    /// next wake-up. Transfers that complete during the same advance (their
+    /// projected completion coincides with this instant) are processed
+    /// immediately; the wake-up they had scheduled becomes stale via the
+    /// generation bump and is skipped when popped.
+    fn admit_transfer(&mut self, link: usize, work_ns: u64, transfer: Transfer) {
+        let now = self.queue.now();
+        let contention = self.contention.as_mut().expect("shared-rate mode");
+        let completed = contention.links[link].advance(now.as_ns());
+        contention.links[link].admit(now.as_ns(), work_ns, transfer);
+        if self.obs.enabled() {
+            let contention = self.contention.as_ref().expect("shared-rate mode");
+            let (kind, device) = contention.link_kind(link);
+            let tenants = contention.links[link].tenants() as u32;
+            self.obs.record(
+                now.as_ns(),
+                TraceEvent::LinkTenancy {
+                    kind,
+                    link: device,
+                    tenants,
+                },
+            );
+        }
+        for done in completed {
+            self.transfer_done(link, done);
+        }
+        self.schedule_link_wakeup(link);
+    }
+
+    /// Schedules a wake-up at the link's earliest projected completion,
+    /// stamped with the current generation.
+    fn schedule_link_wakeup(&mut self, link: usize) {
+        let contention = self.contention.as_ref().expect("shared-rate mode");
+        if let Some(delay) = contention.links[link].next_completion_delay() {
+            let generation = contention.links[link].generation();
             self.queue
-                .schedule_after_ns(self.exchange_ns, Event::ExchangeDone { iter });
+                .schedule_after_ns(delay, Event::LinkUpdate { link, generation });
+        }
+    }
+
+    /// A link wake-up fired: if the stamped generation is current, the
+    /// earliest tenant(s) complete exactly now; otherwise tenancy changed
+    /// since the projection and the event is stale.
+    fn handle_link_update(&mut self, link: usize, generation: u64) {
+        let now = self.queue.now();
+        let contention = self.contention.as_mut().expect("shared-rate mode");
+        if contention.links[link].generation() != generation {
+            return;
+        }
+        let completed = contention.links[link].advance(now.as_ns());
+        debug_assert!(
+            !completed.is_empty(),
+            "a current-generation wake-up must complete at least one transfer"
+        );
+        for done in completed {
+            self.transfer_done(link, done);
+        }
+        self.schedule_link_wakeup(link);
+    }
+
+    /// One shared-rate transfer finished: record it, then advance its
+    /// pipeline stage (HBM → UVM → gather done; local phase → remote phase →
+    /// exchange done).
+    fn transfer_done(&mut self, link: usize, done: CompletedTransfer<Transfer>) {
+        let now = self.queue.now();
+        if self.obs.enabled() {
+            let contention = self.contention.as_ref().expect("shared-rate mode");
+            let (kind, device) = contention.link_kind(link);
+            self.obs.record(
+                done.completed_ns,
+                TraceEvent::LinkTransfer {
+                    kind,
+                    link: device,
+                    seq: done.seq,
+                    start_ns: done.admitted_ns,
+                    work_ns: done.work_ns,
+                    elapsed_ns: done.elapsed_ns(),
+                    tenants: done.tenants_at_admit as u32,
+                },
+            );
+        }
+        let Transfer { iter, stage } = done.payload;
+        match stage {
+            TransferStage::Hbm { gpu } => {
+                let contention = self.contention.as_ref().expect("shared-rate mode");
+                let uvm_ns = contention.gathers[&(iter, gpu)].demand.uvm_ns;
+                let uvm_link = contention.uvm_link(gpu);
+                self.admit_transfer(
+                    uvm_link,
+                    uvm_ns,
+                    Transfer {
+                        iter,
+                        stage: TransferStage::Uvm { gpu },
+                    },
+                );
+            }
+            TransferStage::Uvm { gpu } => {
+                let contention = self.contention.as_mut().expect("shared-rate mode");
+                let job = contention
+                    .gathers
+                    .remove(&(iter, gpu))
+                    .expect("gather completion without a job");
+                let wait_ns = job.start.since(job.arrival);
+                self.stations[gpu].record_wait_ns(wait_ns);
+                if self.obs.enabled() {
+                    self.obs.record(
+                        job.arrival.as_ns(),
+                        TraceEvent::StationEnqueue {
+                            gpu: gpu as u32,
+                            iter,
+                            queue_ns: wait_ns,
+                        },
+                    );
+                    self.obs.record(
+                        job.start.as_ns(),
+                        TraceEvent::StationService {
+                            gpu: gpu as u32,
+                            iter,
+                            start_ns: job.start.as_ns(),
+                            service_ns: now.since(job.start),
+                            wait_ns,
+                        },
+                    );
+                }
+                self.queue.schedule_at(now, Event::GpuDone { iter, gpu });
+            }
+            TransferStage::Local { .. } => {
+                let contention = self.contention.as_mut().expect("shared-rate mode");
+                let state = contention
+                    .exchanges
+                    .get_mut(&iter)
+                    .expect("local completion for unknown exchange");
+                state.pending -= 1;
+                if state.pending == 0 {
+                    if contention.topology.num_nodes > 1 {
+                        self.start_remote_phase(iter);
+                    } else {
+                        self.finish_exchange(iter);
+                    }
+                }
+            }
+            TransferStage::Remote { .. } => {
+                let contention = self.contention.as_mut().expect("shared-rate mode");
+                let state = contention
+                    .exchanges
+                    .get_mut(&iter)
+                    .expect("remote completion for unknown exchange");
+                state.pending -= 1;
+                if state.pending == 0 {
+                    self.finish_exchange(iter);
+                }
+            }
         }
     }
 
@@ -506,6 +1085,18 @@ impl<'obs> ClusterSimulator<'obs> {
                 self.workload.install_plan(&plan, &profile);
                 self.tables_per_gpu = self.workload.tables_per_gpu();
                 self.plan = plan;
+                if let Some(contention) = &mut self.contention {
+                    // Shared-rate gathers are not gated by station free
+                    // times, so the migration downtime is charged as a
+                    // per-GPU start gate instead; exchange volumes follow
+                    // the new plan (in-flight transfers keep their old
+                    // volumes).
+                    let gate = now.after_ns(migration_ns);
+                    for stalled in &mut contention.stalled_until {
+                        *stalled = (*stalled).max(gate);
+                    }
+                    contention.rebuild_volumes(&self.plan, &self.config);
+                }
             }
         }
     }
@@ -520,6 +1111,8 @@ impl<'obs> ClusterSimulator<'obs> {
                 Event::Arrival { iter } => self.handle_arrival(iter),
                 Event::GpuDone { iter, .. } => self.handle_gpu_done(iter),
                 Event::ExchangeDone { iter } => self.handle_exchange_done(iter),
+                Event::GatherStart { iter, gpu } => self.handle_gather_start(iter, gpu),
+                Event::LinkUpdate { link, generation } => self.handle_link_update(link, generation),
             }
         }
         assert!(
@@ -530,6 +1123,20 @@ impl<'obs> ClusterSimulator<'obs> {
             self.completed, self.config.iterations,
             "not every iteration completed"
         );
+        if let Some(contention) = &self.contention {
+            assert!(
+                contention.gathers.is_empty() && contention.exchanges.is_empty(),
+                "simulation drained with in-flight transfers"
+            );
+            for link in &contention.links {
+                assert!(link.is_idle(), "a shared-rate link drained non-idle");
+                assert_eq!(
+                    link.served_units(),
+                    link.admitted_units(),
+                    "served work must equal admitted work once a link drains"
+                );
+            }
+        }
 
         let makespan = self.queue.now();
         self.obs.record(

@@ -11,6 +11,7 @@
 //! [`ShardingPlan`], and installs it — charging every station a migration
 //! stall proportional to the embedding bytes that change residency.
 
+use crate::time::SimTime;
 use recshard_data::{DriftModel, ModelSpec};
 use recshard_sharding::{ShardingPlan, SystemSpec};
 use recshard_stats::{DatasetProfile, DatasetProfiler};
@@ -138,6 +139,11 @@ impl ReshardController {
             policy.imbalance_threshold >= 1.0,
             "imbalance threshold below 1 always fires"
         );
+        assert!(
+            policy.migration_bandwidth_gbps.is_finite() && policy.migration_bandwidth_gbps > 0.0,
+            "migration bandwidth must be positive and finite, got {}",
+            policy.migration_bandwidth_gbps
+        );
         Self {
             policy,
             solver,
@@ -225,7 +231,7 @@ impl ReshardController {
             }
         }
         let seconds = bytes as f64 / (self.policy.migration_bandwidth_gbps * 1e9);
-        (seconds * 1e9).round() as u64
+        SimTime::saturating_ns_from_secs(seconds)
     }
 }
 

@@ -17,6 +17,11 @@
 //! * [`GpuStation`] — per-GPU FIFO service stations whose service time splits
 //!   into HBM, UVM and kernel-overhead components (the additive mixed-tier
 //!   model of Section 4.2).
+//! * [`SharedRateResource`] — processor-sharing links for
+//!   [`ContentionMode::SharedRate`]: per-GPU HBM/UVM channels, per-GPU
+//!   NVLink egress, and one fabric port per receiving node, all re-estimated
+//!   in integer virtual time on every tenancy change so incast and
+//!   cross-iteration bandwidth sharing appear in the sojourn tail.
 //! * [`ArrivalProcess`] / [`IterationWorkload`] — fixed-rate or Poisson batch
 //!   arrivals whose lookups are drawn from the *same* Zipf/pooling/coverage
 //!   generators as the rest of the reproduction (`recshard-data`) and routed
@@ -71,13 +76,17 @@
 pub mod cluster;
 pub mod controller;
 pub mod engine;
+pub mod error;
+pub mod resource;
 pub mod station;
 pub mod time;
 pub mod workload;
 
-pub use cluster::{ClusterConfig, ClusterSimulator, RunSummary};
+pub use cluster::{ClusterConfig, ClusterSimulator, ContentionMode, RunSummary};
 pub use controller::{CheckOutcome, DriftSchedule, PlanSolver, ReshardController, ReshardPolicy};
 pub use engine::{EventQueue, Scheduled};
+pub use error::DesError;
+pub use resource::{CompletedTransfer, SharedRateResource, WORK_UNITS_PER_NS};
 pub use station::{GpuStation, ServiceDemand};
 pub use time::SimTime;
 pub use workload::{ArrivalProcess, IterationWorkload};

@@ -1,0 +1,377 @@
+//! Shared-rate (processor-sharing) contended links.
+//!
+//! A [`SharedRateResource`] models one link — a GPU's HBM channel, its UVM
+//! path, its NVLink egress, or a node's inter-node fabric port — whose rate
+//! is split equally among all in-flight transfers. Admitting or completing a
+//! transfer changes every other tenant's effective rate, so remaining
+//! service is re-estimated *in integer virtual time* at each tenancy change:
+//! a transfer's outstanding work is held in fixed-point work units
+//! ([`WORK_UNITS_PER_NS`] units ≙ one nanosecond of solo service) and drains
+//! at `⌊Δt · units/ns ÷ n⌋` per wall nanosecond when `n` tenants share the
+//! link. All arithmetic is integer, completions tie-break on admission
+//! sequence, and the drain loop never skips over a completion — so runs are
+//! bit-deterministic and total served work exactly equals total admitted
+//! work once the link drains (the conservation property the proptests pin).
+//!
+//! The simulator couples this to its event queue with a generation counter:
+//! every tenancy change bumps [`SharedRateResource::generation`], and a
+//! wake-up event scheduled for an earlier generation is simply ignored when
+//! popped (lazy invalidation — cheaper than deleting from the heap and just
+//! as deterministic).
+
+/// Fixed-point work units per nanosecond of solo (uncontended) service.
+///
+/// With `n ≤ 2^10` tenants and transfers up to `u64::MAX` ns, intermediate
+/// products stay below `2^94`, comfortably inside `u128`; quantization loss
+/// per re-estimation is under `n / 2^20` ns — far below the nanosecond
+/// resolution of the event clock.
+pub const WORK_UNITS_PER_NS: u64 = 1 << 20;
+
+/// One in-flight transfer on a shared-rate link.
+#[derive(Debug, Clone)]
+struct Tenant<T> {
+    seq: u64,
+    /// Outstanding service in fixed-point work units.
+    remaining: u128,
+    work_ns: u64,
+    admitted_ns: u64,
+    tenants_at_admit: usize,
+    payload: T,
+}
+
+/// A transfer that finished service on a shared-rate link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedTransfer<T> {
+    /// The payload supplied at admission.
+    pub payload: T,
+    /// Admission sequence number on this link (the deterministic tie-break).
+    pub seq: u64,
+    /// Virtual time the transfer was admitted, ns.
+    pub admitted_ns: u64,
+    /// Virtual time the transfer completed, ns.
+    pub completed_ns: u64,
+    /// Solo (uncontended) service time of the transfer, ns.
+    pub work_ns: u64,
+    /// Number of tenants sharing the link the moment this one was admitted
+    /// (including itself).
+    pub tenants_at_admit: usize,
+}
+
+impl<T> CompletedTransfer<T> {
+    /// Wall time the transfer spent on the link, ns.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.completed_ns - self.admitted_ns
+    }
+
+    /// Slowdown relative to solo service (1.0 = uncontended). Defined as 1
+    /// for zero-work transfers.
+    pub fn stretch(&self) -> f64 {
+        if self.work_ns == 0 {
+            1.0
+        } else {
+            self.elapsed_ns() as f64 / self.work_ns as f64
+        }
+    }
+}
+
+/// A processor-sharing link: all in-flight transfers drain at `rate / n`.
+///
+/// The link is rate-normalised: callers convert bytes to *solo service
+/// nanoseconds* (`bytes / link_bandwidth`) before admission, so one resource
+/// type serves HBM, UVM, NVLink and fabric links alike.
+#[derive(Debug, Clone)]
+pub struct SharedRateResource<T> {
+    tenants: Vec<Tenant<T>>,
+    last_update_ns: u64,
+    next_seq: u64,
+    generation: u64,
+    admitted_units: u128,
+    served_units: u128,
+    completed_transfers: u64,
+    peak_tenants: usize,
+}
+
+impl<T> Default for SharedRateResource<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SharedRateResource<T> {
+    /// An idle link at virtual time zero.
+    pub fn new() -> Self {
+        Self {
+            tenants: Vec::new(),
+            last_update_ns: 0,
+            next_seq: 0,
+            generation: 0,
+            admitted_units: 0,
+            served_units: 0,
+            completed_transfers: 0,
+            peak_tenants: 0,
+        }
+    }
+
+    /// Advances the link's clock to `now_ns`, draining every tenant's
+    /// outstanding work at the equal-share rate, and returns the transfers
+    /// that completed — in completion-time order, admission order within a
+    /// tie.
+    ///
+    /// The drain loop steps from completion to completion, so the share is
+    /// re-divided the instant a tenant leaves even when the caller advances
+    /// across several completions at once (the earliest-wake-up event the
+    /// simulator schedules makes that rare, but the resource does not rely
+    /// on it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now_ns` is earlier than the last update (a causality bug).
+    pub fn advance(&mut self, now_ns: u64) -> Vec<CompletedTransfer<T>> {
+        assert!(
+            now_ns >= self.last_update_ns,
+            "shared-rate link clock went backwards ({now_ns} < {})",
+            self.last_update_ns
+        );
+        let mut finished = Vec::new();
+        loop {
+            // Sweep out tenants that have reached zero outstanding work;
+            // they complete at the current link clock.
+            let mut i = 0;
+            while i < self.tenants.len() {
+                if self.tenants[i].remaining == 0 {
+                    let t = self.tenants.remove(i);
+                    finished.push(CompletedTransfer {
+                        payload: t.payload,
+                        seq: t.seq,
+                        admitted_ns: t.admitted_ns,
+                        completed_ns: self.last_update_ns,
+                        work_ns: t.work_ns,
+                        tenants_at_admit: t.tenants_at_admit,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+            if self.tenants.is_empty() || self.last_update_ns == now_ns {
+                break;
+            }
+            let n = self.tenants.len() as u128;
+            let min_remaining = self
+                .tenants
+                .iter()
+                .map(|t| t.remaining)
+                .min()
+                .expect("non-empty tenant set");
+            // Nanoseconds until the earliest tenant would finish at the
+            // current share; ≥ 1 because min_remaining > 0 here.
+            let to_next = div_ceil(min_remaining * n, WORK_UNITS_PER_NS as u128);
+            let dt = u128::from(now_ns - self.last_update_ns).min(to_next);
+            let drain = dt * u128::from(WORK_UNITS_PER_NS) / n;
+            for t in &mut self.tenants {
+                let d = drain.min(t.remaining);
+                t.remaining -= d;
+                self.served_units += d;
+            }
+            self.last_update_ns += dt as u64;
+        }
+        self.last_update_ns = now_ns;
+        if !finished.is_empty() {
+            self.generation += 1;
+            self.completed_transfers += finished.len() as u64;
+        }
+        finished
+    }
+
+    /// Admits a transfer needing `work_ns` of solo service, returning its
+    /// admission sequence number. Bumps the generation (any previously
+    /// scheduled wake-up is now stale).
+    ///
+    /// Callers must [`advance`](Self::advance) the link to `now_ns` first so
+    /// existing tenants are charged at the *old* share for the elapsed
+    /// interval.
+    pub fn admit(&mut self, now_ns: u64, work_ns: u64, payload: T) -> u64 {
+        debug_assert_eq!(
+            now_ns, self.last_update_ns,
+            "admit without advancing the link clock first"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let remaining = u128::from(work_ns) * u128::from(WORK_UNITS_PER_NS);
+        self.admitted_units += remaining;
+        self.tenants.push(Tenant {
+            seq,
+            remaining,
+            work_ns,
+            admitted_ns: now_ns,
+            tenants_at_admit: self.tenants.len() + 1,
+            payload,
+        });
+        self.peak_tenants = self.peak_tenants.max(self.tenants.len());
+        self.generation += 1;
+        seq
+    }
+
+    /// Nanoseconds until the earliest in-flight transfer completes at the
+    /// current tenancy, or `None` when the link is idle. Zero-work tenants
+    /// report a zero delay (they complete at the next [`advance`](Self::advance)).
+    pub fn next_completion_delay(&self) -> Option<u64> {
+        let n = self.tenants.len() as u128;
+        self.tenants
+            .iter()
+            .map(|t| div_ceil(t.remaining * n, WORK_UNITS_PER_NS as u128) as u64)
+            .min()
+    }
+
+    /// The tenancy-change generation; wake-ups scheduled under an older
+    /// generation are stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of transfers currently in flight.
+    pub fn tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no transfer is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Total work units ever admitted.
+    pub fn admitted_units(&self) -> u128 {
+        self.admitted_units
+    }
+
+    /// Total work units served so far.
+    pub fn served_units(&self) -> u128 {
+        self.served_units
+    }
+
+    /// Work units still outstanding across all tenants.
+    pub fn pending_units(&self) -> u128 {
+        self.tenants.iter().map(|t| t.remaining).sum()
+    }
+
+    /// Number of transfers that have completed service.
+    pub fn completed_transfers(&self) -> u64 {
+        self.completed_transfers
+    }
+
+    /// The largest number of simultaneous tenants ever observed.
+    pub fn peak_tenants(&self) -> usize {
+        self.peak_tenants
+    }
+}
+
+fn div_ceil(a: u128, b: u128) -> u128 {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_transfer_takes_exactly_its_work() {
+        let mut link = SharedRateResource::new();
+        link.admit(0, 100, "a");
+        assert_eq!(link.next_completion_delay(), Some(100));
+        let done = link.advance(100);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].payload, "a");
+        assert_eq!(done[0].completed_ns, 100);
+        assert_eq!(done[0].elapsed_ns(), 100);
+        assert!((done[0].stretch() - 1.0).abs() < 1e-12);
+        assert!(link.is_idle());
+        assert_eq!(link.served_units(), link.admitted_units());
+    }
+
+    #[test]
+    fn equal_tenants_halve_the_rate_and_tie_break_on_admission() {
+        let mut link = SharedRateResource::new();
+        link.admit(0, 100, 1u32);
+        link.admit(0, 100, 2u32);
+        assert_eq!(link.next_completion_delay(), Some(200));
+        let done = link.advance(200);
+        assert_eq!(done.len(), 2);
+        // Same completion time: admission order breaks the tie.
+        assert_eq!((done[0].payload, done[1].payload), (1, 2));
+        assert_eq!(done[0].completed_ns, 200);
+        assert_eq!(done[1].completed_ns, 200);
+        assert_eq!(link.peak_tenants(), 2);
+    }
+
+    #[test]
+    fn late_admit_re_estimates_remaining_service() {
+        let mut link = SharedRateResource::new();
+        link.admit(0, 100, "a");
+        let g0 = link.generation();
+        // At t=50 "a" has 50 ns of solo work left; "b" joins.
+        assert!(link.advance(50).is_empty());
+        link.admit(50, 100, "b");
+        assert!(link.generation() > g0, "admit must bump the generation");
+        // Both now drain at half rate: "a" needs 100 more wall ns.
+        assert_eq!(link.next_completion_delay(), Some(100));
+        let done = link.advance(150);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].payload, "a");
+        assert_eq!(done[0].elapsed_ns(), 150);
+        assert!((done[0].stretch() - 1.5).abs() < 1e-12);
+        // "b" drains solo afterwards: 50 ns of work left.
+        assert_eq!(link.next_completion_delay(), Some(50));
+        let done = link.advance(200);
+        assert_eq!(done[0].payload, "b");
+        assert_eq!(done[0].elapsed_ns(), 150);
+        assert_eq!(link.served_units(), link.admitted_units());
+    }
+
+    #[test]
+    fn advance_across_several_completions_redivides_the_share() {
+        let mut link = SharedRateResource::new();
+        link.admit(0, 30, "short");
+        link.admit(0, 90, "long");
+        // One big jump straight past both completions: "short" finishes at
+        // 60 (half rate), then "long" drains solo and finishes at 120.
+        let done = link.advance(500);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].payload, "short");
+        assert_eq!(done[0].completed_ns, 60);
+        assert_eq!(done[1].payload, "long");
+        assert_eq!(done[1].completed_ns, 120);
+        assert_eq!(link.served_units(), link.admitted_units());
+    }
+
+    #[test]
+    fn zero_work_transfer_completes_immediately() {
+        let mut link = SharedRateResource::new();
+        link.admit(0, 0, "empty");
+        assert_eq!(link.next_completion_delay(), Some(0));
+        let done = link.advance(0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].elapsed_ns(), 0);
+        assert!((done[0].stretch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_marks_every_tenancy_change() {
+        let mut link = SharedRateResource::new();
+        let g0 = link.generation();
+        link.admit(0, 10, ());
+        let g1 = link.generation();
+        assert!(g1 > g0);
+        // Pure time passage without completions does not invalidate.
+        assert!(link.advance(5).is_empty());
+        assert_eq!(link.generation(), g1);
+        assert_eq!(link.advance(20).len(), 1);
+        assert!(link.generation() > g1);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn clock_regression_panics() {
+        let mut link: SharedRateResource<()> = SharedRateResource::new();
+        link.advance(100);
+        link.advance(50);
+    }
+}

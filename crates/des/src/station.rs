@@ -94,6 +94,24 @@ impl GpuStation {
         self.stall_ns += stall_ns;
     }
 
+    /// Records a job's busy time without FIFO scheduling — the shared-rate
+    /// contention mode times jobs on contended memory links instead of the
+    /// station's single-server queue, but tier-attributed busy accounting
+    /// still lives here. Under processor sharing, concurrent jobs overlap,
+    /// so summed busy time may legitimately exceed the makespan.
+    pub fn account(&mut self, demand: ServiceDemand) {
+        self.busy_hbm_ns += demand.hbm_ns;
+        self.busy_uvm_ns += demand.uvm_ns;
+        self.busy_overhead_ns += demand.overhead_ns;
+        self.jobs_served += 1;
+    }
+
+    /// Records how long a shared-rate job was delayed before its gather
+    /// started (the contention-mode analogue of FIFO queue wait).
+    pub fn record_wait_ns(&mut self, wait_ns: u64) {
+        self.queue_wait_ms.push(wait_ns as f64 / 1e6);
+    }
+
     /// Virtual time at which the station next becomes idle.
     pub fn free_at(&self) -> SimTime {
         self.free_at

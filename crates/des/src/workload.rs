@@ -8,6 +8,8 @@
 //! coverage/pooling/Zipf draws `recshard-data` uses everywhere else — and
 //! routing them through the active plan's remapping tables.
 
+use crate::error::DesError;
+use crate::time::SimTime;
 use rand::rngs::StdRng;
 use rand::Rng;
 use recshard_data::{ModelSpec, Zipf};
@@ -32,16 +34,45 @@ pub enum ArrivalProcess {
 }
 
 impl ArrivalProcess {
+    /// Rejects intervals that cannot drive an open-loop schedule: negative
+    /// or non-finite means/intervals. (A zero interval is legal — it models
+    /// all batches available at time zero — and cannot hang the run because
+    /// the simulator schedules exactly `iterations` arrivals, never an
+    /// unbounded stream.)
+    ///
+    /// [`ClusterSimulator::try_new`](crate::ClusterSimulator::try_new) calls
+    /// this up front so a poisoned rate surfaces as
+    /// [`DesError::InvalidArrival`] instead of degenerate gap draws.
+    pub fn validate(&self) -> Result<(), DesError> {
+        let (name, value) = match *self {
+            ArrivalProcess::FixedRate { interval_ms } => ("interval_ms", interval_ms),
+            ArrivalProcess::Poisson { mean_interval_ms } => ("mean_interval_ms", mean_interval_ms),
+        };
+        if value.is_finite() && value >= 0.0 {
+            Ok(())
+        } else {
+            Err(DesError::InvalidArrival { name, value })
+        }
+    }
+
     /// Draws the gap to the next arrival, in nanoseconds.
+    ///
+    /// Defensive even for configs that skipped [`ArrivalProcess::validate`]:
+    /// negative or NaN intervals clamp to a zero gap, and an astronomically
+    /// large mean (or an exponential draw deep in its tail) saturates at
+    /// `u64::MAX` ns instead of wrapping — the draw can never panic or hang.
     pub fn next_gap_ns(&self, rng: &mut StdRng) -> u64 {
         match *self {
             ArrivalProcess::FixedRate { interval_ms } => {
-                (interval_ms.max(0.0) * 1e6).round() as u64
+                SimTime::saturating_ns_from_ms(interval_ms.max(0.0))
             }
             ArrivalProcess::Poisson { mean_interval_ms } => {
+                // `u ∈ [0, 1)` so `ln(1 - u)` is finite and ≤ 0; the draw
+                // is consumed even for degenerate means so a clamped run
+                // replays the same RNG stream as a healthy one.
                 let u: f64 = rng.gen();
                 let gap_ms = -mean_interval_ms.max(0.0) * (1.0 - u).ln();
-                (gap_ms * 1e6).round() as u64
+                SimTime::saturating_ns_from_ms(gap_ms)
             }
         }
     }
@@ -195,6 +226,51 @@ mod tests {
         let a = ArrivalProcess::FixedRate { interval_ms: 2.5 };
         assert_eq!(a.next_gap_ns(&mut rng), 2_500_000);
         assert_eq!(a.next_gap_ns(&mut rng), 2_500_000);
+    }
+
+    #[test]
+    fn degenerate_rates_clamp_instead_of_panicking() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for arrival in [
+            ArrivalProcess::FixedRate { interval_ms: -4.0 },
+            ArrivalProcess::FixedRate {
+                interval_ms: f64::NAN,
+            },
+            ArrivalProcess::Poisson {
+                mean_interval_ms: -1.0,
+            },
+            ArrivalProcess::Poisson {
+                mean_interval_ms: f64::NAN,
+            },
+        ] {
+            assert!(arrival.validate().is_err());
+            assert_eq!(arrival.next_gap_ns(&mut rng), 0);
+        }
+        // An absurd but finite mean saturates rather than wrapping.
+        let huge = ArrivalProcess::FixedRate { interval_ms: 1e300 };
+        assert!(huge.validate().is_ok());
+        assert_eq!(huge.next_gap_ns(&mut rng), u64::MAX);
+        let inf = ArrivalProcess::Poisson {
+            mean_interval_ms: f64::INFINITY,
+        };
+        assert!(inf.validate().is_err());
+    }
+
+    #[test]
+    fn clamped_poisson_consumes_the_same_rng_stream() {
+        // A degenerate mean must not desynchronise replay: the draw is
+        // consumed either way, so downstream randomness is unaffected.
+        let healthy = ArrivalProcess::Poisson {
+            mean_interval_ms: 2.0,
+        };
+        let degenerate = ArrivalProcess::Poisson {
+            mean_interval_ms: -2.0,
+        };
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let _ = healthy.next_gap_ns(&mut a);
+        let _ = degenerate.next_gap_ns(&mut b);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
     }
 
     #[test]

@@ -2,9 +2,14 @@
 //! invariants and determinism must hold for arbitrary configurations.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use recshard_data::ModelSpec;
-use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator, EventQueue, SimTime};
-use recshard_sharding::{GreedySharder, SizeCost, SystemSpec};
+use recshard_des::{
+    ArrivalProcess, ClusterConfig, ClusterSimulator, ContentionMode, EventQueue,
+    SharedRateResource, SimTime, WORK_UNITS_PER_NS,
+};
+use recshard_sharding::{GreedySharder, NodeTopology, SizeCost, SystemSpec};
 use recshard_stats::DatasetProfiler;
 
 fn run_summary(
@@ -16,12 +21,41 @@ fn run_summary(
     seed: u64,
     poisson: bool,
 ) -> recshard_des::RunSummary {
+    run_summary_with_mode(
+        tables,
+        gpus,
+        iterations,
+        batch,
+        interval_us,
+        seed,
+        poisson,
+        ContentionMode::Fifo,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_summary_with_mode(
+    tables: usize,
+    gpus: usize,
+    iterations: u64,
+    batch: usize,
+    interval_us: u64,
+    seed: u64,
+    poisson: bool,
+    contention: ContentionMode,
+) -> recshard_des::RunSummary {
     let model = ModelSpec::small(tables, seed ^ 0x51);
     let profile = DatasetProfiler::profile_model(&model, 300, seed ^ 0x52);
     let system = SystemSpec::uniform(gpus, u64::MAX / 16, u64::MAX / 16, 1555.0, 16.0);
     let plan = GreedySharder::new(SizeCost)
         .shard(&model, &profile, &system)
         .unwrap();
+    // Exercise the two-level fabric whenever the GPU count splits evenly.
+    let plan = if gpus.is_multiple_of(2) && contention == ContentionMode::SharedRate {
+        plan.with_topology(NodeTopology::new(2, gpus / 2))
+    } else {
+        plan
+    };
     let interval_ms = interval_us as f64 / 1e3;
     let config = ClusterConfig {
         batch_size: batch,
@@ -34,6 +68,7 @@ fn run_summary(
         } else {
             ArrivalProcess::FixedRate { interval_ms }
         },
+        contention,
         ..ClusterConfig::default()
     };
     ClusterSimulator::new(&model, &plan, &profile, &system, config).run()
@@ -101,5 +136,90 @@ proptest! {
             last = Some((ev.time, ev.event));
         }
         prop_assert_eq!(q.processed(), times.len() as u64);
+    }
+
+    /// A shared-rate link conserves work across arbitrary tenancy changes:
+    /// once drained, the units it served equal the units admitted, every
+    /// transfer's sojourn is at least its solo service time, and completions
+    /// pop in nondecreasing completion-time order.
+    #[test]
+    fn shared_rate_link_conserves_served_work(
+        jobs in prop::collection::vec((0u64..5_000, 0u64..2_000), 1..40),
+    ) {
+        let mut link: SharedRateResource<usize> = SharedRateResource::new();
+        let mut now = 0u64;
+        let mut completed = Vec::new();
+        for (i, &(gap_ns, work_ns)) in jobs.iter().enumerate() {
+            now += gap_ns;
+            completed.extend(link.advance(now));
+            link.admit(now, work_ns, i);
+        }
+        // Drain: follow the link's own projections to the end.
+        while let Some(delay) = link.next_completion_delay() {
+            now += delay;
+            completed.extend(link.advance(now));
+        }
+        prop_assert!(link.is_idle());
+        prop_assert_eq!(completed.len(), jobs.len());
+        prop_assert_eq!(link.served_units(), link.admitted_units());
+        prop_assert_eq!(
+            link.admitted_units(),
+            jobs.iter().map(|&(_, w)| w as u128 * WORK_UNITS_PER_NS as u128).sum::<u128>()
+        );
+        let mut last_done = 0u64;
+        for done in &completed {
+            prop_assert!(done.elapsed_ns() >= done.work_ns,
+                "sharing can only stretch a transfer ({} < {})",
+                done.elapsed_ns(), done.work_ns);
+            prop_assert!(done.completed_ns >= last_done, "completions must be ordered");
+            last_done = done.completed_ns;
+        }
+    }
+
+    /// Identical seeds replay bit-identical summaries (fingerprint included)
+    /// with shared-rate contention enabled, over flat and two-level fabrics.
+    #[test]
+    fn contention_enabled_replay_is_bit_identical(
+        tables in 2usize..6,
+        gpus in 2usize..5,
+        iterations in 5u64..30,
+        batch in 4usize..24,
+        interval_us in 1u64..3_000,
+        seed in any::<u64>(),
+        poisson in any::<bool>(),
+    ) {
+        let a = run_summary_with_mode(
+            tables, gpus, iterations, batch, interval_us, seed, poisson,
+            ContentionMode::SharedRate,
+        );
+        let b = run_summary_with_mode(
+            tables, gpus, iterations, batch, interval_us, seed, poisson,
+            ContentionMode::SharedRate,
+        );
+        prop_assert_eq!(a.completed, iterations);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Drawing arrival gaps never panics or hangs, even for degenerate
+    /// intervals (negative, zero, huge, NaN, infinite): the draw clamps to a
+    /// finite gap and `validate` flags the bad configurations up front.
+    #[test]
+    fn arrival_gap_draw_never_panics(
+        raw in prop::num::f64::ANY,
+        seed in any::<u64>(),
+        poisson in any::<bool>(),
+    ) {
+        let arrival = if poisson {
+            ArrivalProcess::Poisson { mean_interval_ms: raw }
+        } else {
+            ArrivalProcess::FixedRate { interval_ms: raw }
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Either outcome is fine; it must simply not panic.
+        let _ = arrival.validate();
+        let gap = arrival.next_gap_ns(&mut rng);
+        if raw.is_nan() || raw <= 0.0 {
+            prop_assert_eq!(gap, 0, "degenerate intervals clamp to zero gap");
+        }
     }
 }

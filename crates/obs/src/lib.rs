@@ -64,4 +64,4 @@ pub use registry::{
 };
 pub use report::{events_per_sec, RunReport};
 pub use sink::{Collector, NoopSink, ObsBundle, ObsHandle, ObsSink};
-pub use trace::{PruneReason, Trace, TraceBuffer, TraceEvent, TraceRecord};
+pub use trace::{LinkKind, PruneReason, Trace, TraceBuffer, TraceEvent, TraceRecord};

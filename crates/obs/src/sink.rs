@@ -102,6 +102,10 @@ struct Ids {
     des_sojourn_ms: QuantileId,
     des_station_wait_ms: QuantileId,
     des_barrier_wait_ms: QuantileId,
+    des_link_transfers: CounterId,
+    des_link_duration_ms: QuantileId,
+    des_link_stretch: QuantileId,
+    des_link_tenancy: QuantileId,
     solver_lp_solves: CounterId,
     solver_pivots: CounterId,
     solver_refactorizations: CounterId,
@@ -132,6 +136,10 @@ impl Ids {
             des_sojourn_ms: reg.quantile("des.sojourn_ms"),
             des_station_wait_ms: reg.quantile("des.station.wait_ms"),
             des_barrier_wait_ms: reg.quantile("des.barrier.wait_ms"),
+            des_link_transfers: reg.counter("des.link.transfers"),
+            des_link_duration_ms: reg.quantile("des.link.duration_ms"),
+            des_link_stretch: reg.quantile("des.link.stretch"),
+            des_link_tenancy: reg.quantile("des.link.tenancy"),
             solver_lp_solves: reg.counter("solver.lp_solves"),
             solver_pivots: reg.counter("solver.simplex.pivots"),
             solver_refactorizations: reg.counter("solver.simplex.refactorizations"),
@@ -245,6 +253,23 @@ impl Collector {
             }
             TraceEvent::SimulationDone { events, .. } => {
                 reg.set(ids.des_events, events as f64);
+            }
+            TraceEvent::LinkTransfer {
+                work_ns,
+                elapsed_ns,
+                ..
+            } => {
+                reg.incr(ids.des_link_transfers);
+                reg.record(ids.des_link_duration_ms, elapsed_ns as f64 / 1e6);
+                let stretch = if work_ns == 0 {
+                    1.0
+                } else {
+                    elapsed_ns as f64 / work_ns as f64
+                };
+                reg.record(ids.des_link_stretch, stretch);
+            }
+            TraceEvent::LinkTenancy { tenants, .. } => {
+                reg.record(ids.des_link_tenancy, tenants as f64);
             }
             TraceEvent::LpSolved {
                 pivots,

@@ -33,8 +33,35 @@ const LANE_BARRIER: u32 = 900;
 const LANE_EXCHANGE: u32 = 901;
 /// Synthetic lane for controller/summary instants.
 const LANE_CONTROL: u32 = 902;
+/// Synthetic lane for shared-rate link (contention) events.
+const LANE_LINK: u32 = 903;
 /// Synthetic lane for solver (simplex / B&B / bucketing) events.
 const LANE_SOLVER: u32 = 1000;
+
+/// Which kind of contended link a link event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// A GPU's HBM gather channel.
+    Hbm,
+    /// A GPU's UVM (host-memory) gather channel.
+    Uvm,
+    /// A GPU's NVLink all-to-all egress.
+    Nvlink,
+    /// A node's inter-node fabric (NIC) ingress port.
+    Fabric,
+}
+
+impl LinkKind {
+    /// Stable lowercase label used in exported traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LinkKind::Hbm => "hbm",
+            LinkKind::Uvm => "uvm",
+            LinkKind::Nvlink => "nvlink",
+            LinkKind::Fabric => "fabric",
+        }
+    }
+}
 
 /// One typed trace event. Variants cover the instrumented layers: the
 /// discrete-event trainer, the MILP solver stack, the structured solvers,
@@ -104,6 +131,36 @@ pub enum TraceEvent {
         events: u64,
         /// Iterations completed.
         iterations: u64,
+    },
+    /// One transfer completed service on a shared-rate link (DES span,
+    /// contention mode only). `elapsed_ns / work_ns` is the contention
+    /// stretch: 1 means the transfer never shared the link.
+    LinkTransfer {
+        /// Which kind of link served the transfer.
+        kind: LinkKind,
+        /// Device index within the kind (GPU for hbm/uvm/nvlink, node for
+        /// fabric).
+        link: u32,
+        /// Admission sequence number on the link.
+        seq: u64,
+        /// Virtual time the transfer was admitted.
+        start_ns: u64,
+        /// Solo (uncontended) service time.
+        work_ns: u64,
+        /// Wall time on the link including sharing.
+        elapsed_ns: u64,
+        /// Tenants sharing the link at admission (including this one).
+        tenants: u32,
+    },
+    /// Tenancy on a shared-rate link changed (DES instant, contention mode
+    /// only).
+    LinkTenancy {
+        /// Which kind of link changed tenancy.
+        kind: LinkKind,
+        /// Device index within the kind.
+        link: u32,
+        /// In-flight transfers after the change.
+        tenants: u32,
     },
     /// One LP relaxation solved by the simplex backend (solver).
     LpSolved {
@@ -219,6 +276,8 @@ impl TraceEvent {
             TraceEvent::IterationDone { .. } => "iteration_done",
             TraceEvent::ReshardCheck { .. } => "reshard_check",
             TraceEvent::SimulationDone { .. } => "simulation_done",
+            TraceEvent::LinkTransfer { .. } => "link_transfer",
+            TraceEvent::LinkTenancy { .. } => "link_tenancy",
             TraceEvent::LpSolved { .. } => "lp_solved",
             TraceEvent::BnbOpen { .. } => "bnb_open",
             TraceEvent::BnbPrune { .. } => "bnb_prune",
@@ -242,6 +301,7 @@ impl TraceEvent {
             | TraceEvent::ReshardCheck { .. }
             | TraceEvent::SimulationDone { .. }
             | TraceEvent::QueryLatency { .. } => LANE_CONTROL,
+            TraceEvent::LinkTransfer { .. } | TraceEvent::LinkTenancy { .. } => LANE_LINK,
             TraceEvent::LpSolved { .. }
             | TraceEvent::BnbOpen { .. }
             | TraceEvent::BnbPrune { .. }
@@ -264,6 +324,11 @@ impl TraceEvent {
             } => Some((start_ns, service_ns)),
             TraceEvent::BarrierWait { wait_ns, .. } => Some((ts_ns, wait_ns)),
             TraceEvent::Exchange { duration_ns, .. } => Some((ts_ns, duration_ns)),
+            TraceEvent::LinkTransfer {
+                start_ns,
+                elapsed_ns,
+                ..
+            } => Some((start_ns, elapsed_ns)),
             TraceEvent::QueryServed {
                 start_ns,
                 service_ns,
@@ -317,6 +382,27 @@ impl TraceEvent {
             TraceEvent::SimulationDone { events, iterations } => {
                 format!("{{\"events\":{events},\"iterations\":{iterations}}}")
             }
+            TraceEvent::LinkTransfer {
+                kind,
+                link,
+                seq,
+                start_ns,
+                work_ns,
+                elapsed_ns,
+                tenants,
+            } => format!(
+                "{{\"kind\":\"{}\",\"link\":{link},\"seq\":{seq},\"start_ns\":{start_ns},\
+                 \"work_ns\":{work_ns},\"elapsed_ns\":{elapsed_ns},\"tenants\":{tenants}}}",
+                kind.as_str()
+            ),
+            TraceEvent::LinkTenancy {
+                kind,
+                link,
+                tenants,
+            } => format!(
+                "{{\"kind\":\"{}\",\"link\":{link},\"tenants\":{tenants}}}",
+                kind.as_str()
+            ),
             TraceEvent::LpSolved {
                 node,
                 pivots,
@@ -518,6 +604,7 @@ impl Trace {
                 LANE_BARRIER => "barrier".to_string(),
                 LANE_EXCHANGE => "exchange".to_string(),
                 LANE_CONTROL => "control".to_string(),
+                LANE_LINK => "links".to_string(),
                 LANE_SOLVER => "solver".to_string(),
                 gpu => format!("gpu {gpu}"),
             };

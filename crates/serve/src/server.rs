@@ -66,6 +66,23 @@ pub struct ServeConfig {
     pub internode_hop_ns: u64,
 }
 
+impl ServeConfig {
+    /// Prices the remote fan-in hop off a shared
+    /// [`FabricSpec`](recshard_sharding::FabricSpec): one response of
+    /// `response_bytes` crossing the inter-node fabric costs its base
+    /// latency plus the serialisation time at the fabric rate — the same
+    /// per-byte rate the training simulators charge for inter-node
+    /// transfers, so serving and training price the fabric identically.
+    pub fn with_fabric(
+        mut self,
+        fabric: recshard_sharding::FabricSpec,
+        response_bytes: f64,
+    ) -> Self {
+        self.internode_hop_ns = fabric.hop_ns(response_bytes);
+        self
+    }
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
@@ -693,6 +710,27 @@ mod tests {
         // multi-node annotation.
         let same = InferenceServer::run(&model, &two_node, &profile, &system, base);
         assert_eq!(same.fingerprint, flat.fingerprint);
+    }
+
+    #[test]
+    fn fabric_spec_prices_the_fan_in_hop() {
+        use recshard_sharding::{FabricSpec, NodeTopology};
+        let (model, profile, system) = setup();
+        let plan = hash_placement(&model, 2).with_topology(NodeTopology::new(2, 1));
+        let fabric = FabricSpec::hgx();
+        let response_bytes = 4096.0;
+        let cfg = config(PolicyKind::Lru).with_fabric(fabric, response_bytes);
+        assert_eq!(cfg.internode_hop_ns, fabric.hop_ns(response_bytes));
+        // The fabric-priced hop behaves like any explicit hop of the same
+        // size: identical run, fingerprint included.
+        let explicit = ServeConfig {
+            internode_hop_ns: fabric.hop_ns(response_bytes),
+            ..config(PolicyKind::Lru)
+        };
+        let a = InferenceServer::run(&model, &plan, &profile, &system, cfg);
+        let b = InferenceServer::run(&model, &plan, &profile, &system, explicit);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert!(a.p50_ms > 0.0);
     }
 
     #[test]

@@ -81,6 +81,49 @@ impl Strategy for Range<f32> {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Numeric strategies (subset of `proptest::num`).
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Full-bit-domain `f64` strategy: unlike upstream (which composes
+        /// value classes), this draws a uniform bit pattern, so normals,
+        /// subnormals, zeros, infinities and NaNs all occur.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Strategy producing any `f64` bit pattern.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn generate(&self, rng: &mut StdRng) -> f64 {
+                f64::from_bits(rng.gen::<u64>())
+            }
+        }
+    }
+}
+
 /// Types with a canonical full-domain strategy (subset of proptest's
 /// `Arbitrary`).
 pub trait Arbitrary: Sized {
@@ -240,7 +283,7 @@ pub mod prelude {
 
     /// Mirrors the `prop` module alias from proptest's prelude.
     pub mod prop {
-        pub use crate::collection;
+        pub use crate::{collection, num};
     }
 }
 
@@ -275,6 +318,18 @@ mod tests {
         #[test]
         fn any_u64_works(x in any::<u64>()) {
             let _ = x;
+        }
+
+        #[test]
+        fn tuple_strategies_draw_componentwise(pair in (0u64..4, 10u64..14)) {
+            prop_assert!((0..4).contains(&pair.0));
+            prop_assert!((10..14).contains(&pair.1));
+        }
+
+        #[test]
+        fn full_domain_f64_is_drawable(x in prop::num::f64::ANY) {
+            // Any bit pattern is legal; the strategy must simply produce one.
+            let _ = x.to_bits();
         }
     }
 
