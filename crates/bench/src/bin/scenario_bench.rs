@@ -1,0 +1,143 @@
+//! Workload-scenario trajectory: seeded scenario × placement sweep emitting
+//! the tracked `BENCH_scenarios.json` artifact.
+//!
+//! Runs the four placement strategies under the four canonical traffic
+//! scenarios (stationary, diurnal, flash crowd, drift storm) through both
+//! the discrete-event trainer — with the online re-sharding controller
+//! attached — and the inference server, under identical seeds. Everything
+//! in the JSON is a pure function of the sweep configuration and seed
+//! **except** the wall-clock fields (`wall_ms`, `events_per_sec`), which
+//! are only written under `RECSHARD_BENCH_TIMING=1` — otherwise a `-1`
+//! sentinel keeps the artifact byte-stable, the same contract as
+//! `BENCH_des.json`.
+//!
+//! The sweep asserts its acceptance criteria in-line: the flash crowd must
+//! inflate every placement's DES p99 over its stationary run, the drift
+//! storm must trigger at least one controller re-shard, and stationary
+//! traffic must trigger none.
+//!
+//! Gates: when `RECSHARD_BENCH_BASELINE` points at a previously committed
+//! `BENCH_scenarios.json`, the run fails on DES *or* serve fingerprint
+//! drift on committed point keys — behavioural changes must be re-baselined
+//! deliberately — unless `RECSHARD_BENCH_ALLOW_DRIFT=1` acknowledges the
+//! drift as intentional, and on DES events/sec regressions beyond
+//! `RECSHARD_BENCH_TOLERANCE` (default 25%) when timing is on.
+//!
+//! Observability export: when `RECSHARD_OBS_DIR` is set, the flash-crowd
+//! RecShard point re-runs once with a collector attached and writes
+//! `scenario_trace.jsonl`, `scenario_trace.chrome.json` and
+//! `scenario_metrics.json` there — the trace carries the run's
+//! `scenario_phase` events.
+//!
+//! Environment overrides: `RECSHARD_SCENARIO_ITERS`, `RECSHARD_SEED`,
+//! `RECSHARD_BENCH_TIMING`, `RECSHARD_BENCH_BASELINE`,
+//! `RECSHARD_BENCH_TOLERANCE`, `RECSHARD_BENCH_ALLOW_DRIFT`,
+//! `RECSHARD_OBS_DIR`.
+
+use recshard_bench::report::RunReport;
+use recshard_bench::scenario_bench::{
+    fingerprint_drift, run_sweep, throughput_regressions, traced_smoke, ScenarioBenchConfig,
+    SCENARIOS,
+};
+
+fn main() {
+    let cfg = ScenarioBenchConfig::from_env();
+    println!(
+        "# scenario_bench: {} tables x {} GPUs, scenarios {:?} x 4 placements, \
+         {} DES iterations + {} serve queries, seed {:#x}, timing {}",
+        cfg.tables,
+        cfg.gpus,
+        SCENARIOS,
+        cfg.iterations,
+        cfg.serve_queries,
+        cfg.seed,
+        if cfg.include_timing {
+            "in JSON"
+        } else {
+            "stdout only"
+        }
+    );
+    let report = run_sweep(&cfg);
+
+    // Trajectory gates against a previously committed BENCH_scenarios.json.
+    // Read the baseline *before* overwriting it below.
+    if let Ok(baseline_path) = std::env::var("RECSHARD_BENCH_BASELINE") {
+        let tolerance = std::env::var("RECSHARD_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.25);
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let allow_drift = std::env::var("RECSHARD_BENCH_ALLOW_DRIFT").as_deref() == Ok("1");
+        let drifts = fingerprint_drift(&report, &baseline);
+        if drifts.is_empty() {
+            println!("no fingerprint drift vs {baseline_path}");
+        } else if allow_drift {
+            for drift in &drifts {
+                println!("note (drift allowed): {drift}");
+            }
+        } else {
+            for drift in &drifts {
+                eprintln!("FINGERPRINT DRIFT: {drift}");
+            }
+            eprintln!(
+                "fingerprints drifted from {baseline_path}; if the behaviour change is \
+                 intentional, re-run with RECSHARD_BENCH_ALLOW_DRIFT=1 and commit the \
+                 regenerated BENCH_scenarios.json"
+            );
+            std::process::exit(1);
+        }
+        let regressions = throughput_regressions(&report, &baseline, tolerance);
+        if regressions.is_empty() {
+            println!(
+                "no events/sec regressions vs {baseline_path} (tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("THROUGHPUT REGRESSION: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+
+    // Observability artifact export: one traced flash-crowd smoke run.
+    if let Ok(dir) = std::env::var("RECSHARD_OBS_DIR") {
+        let (summary, bundle) = traced_smoke(&cfg);
+        std::fs::create_dir_all(&dir).expect("create RECSHARD_OBS_DIR");
+        let path = |name: &str| format!("{dir}/{name}");
+        std::fs::write(path("scenario_trace.jsonl"), bundle.trace.to_jsonl())
+            .expect("write scenario_trace.jsonl");
+        std::fs::write(path("scenario_trace.chrome.json"), bundle.trace.to_chrome())
+            .expect("write scenario_trace.chrome.json");
+        std::fs::write(path("scenario_metrics.json"), bundle.metrics.to_json())
+            .expect("write scenario_metrics.json");
+        let mut obs = RunReport::new("observability export");
+        obs.push("directory", &dir)
+            .push("trace records", bundle.trace.len())
+            .push_fingerprint("trace fingerprint", bundle.trace.fingerprint())
+            .push_fingerprint("metrics fingerprint", bundle.metrics.fingerprint())
+            .push_fingerprint("event-log fingerprint", summary.fingerprint);
+        print!("{obs}");
+    }
+
+    let json = report.to_json();
+    std::fs::write("BENCH_scenarios.json", &json).expect("write BENCH_scenarios.json");
+    println!();
+    let mut summary = RunReport::new("scenario_bench");
+    summary
+        .push("sweep points", report.points.len())
+        .push_fingerprint("report fingerprint", report.fingerprint());
+    for p in &report.points {
+        let key = format!("{}/{}", p.scenario, p.placement);
+        summary.push(
+            &key,
+            format!(
+                "{} reshard(s), DES p99 {:.3} ms, serve p99 {:.3} ms, fp {:#018x}",
+                p.reshards, p.p99_ms, p.serve_p99_ms, p.fingerprint
+            ),
+        );
+    }
+    print!("{summary}");
+    println!("wrote BENCH_scenarios.json");
+}

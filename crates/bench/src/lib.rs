@@ -17,6 +17,7 @@
 
 pub mod des_bench;
 pub mod report;
+pub mod scenario_bench;
 pub mod solver_bench;
 
 use recshard::{RecShard, RecShardConfig};

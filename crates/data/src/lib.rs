@@ -45,6 +45,7 @@ pub mod hash;
 pub mod model;
 pub mod pooling;
 pub mod sample;
+pub mod scenario;
 pub mod zipf;
 
 pub use drift::{DriftModel, DriftPoint};
@@ -54,4 +55,7 @@ pub use hash::{FeatureHasher, HashStats};
 pub use model::{ModelSpec, RmKind};
 pub use pooling::PoolingSpec;
 pub use sample::{Batch, SampleGenerator, SparseSample};
+pub use scenario::{
+    parse_trace_csv, RateCurve, ScenarioError, ScenarioSpec, ShiftEvent, ShiftKind, TracePoint,
+};
 pub use zipf::Zipf;

@@ -50,7 +50,7 @@ use crate::workload::{ArrivalProcess, IterationWorkload};
 use crate::DriftSchedule;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use recshard_data::ModelSpec;
+use recshard_data::{ModelSpec, ScenarioSpec};
 use recshard_memsim::AccessCounters;
 use recshard_obs::{LinkKind, ObsHandle, ObsSink, TraceEvent};
 use recshard_sharding::{FabricSpec, NodeTopology, ShardingPlan, SystemSpec};
@@ -176,6 +176,20 @@ enum Event {
     /// generation stamps the tenancy state the projection was made under; a
     /// stale wake-up (the link changed tenancy since) is ignored when popped.
     LinkUpdate { link: usize, generation: u64 },
+}
+
+/// Live state of an attached workload scenario: the spec plus how far the
+/// run has advanced through its phase boundaries and shift schedule.
+#[derive(Debug)]
+struct ScenarioRuntime {
+    spec: ScenarioSpec,
+    /// Sorted regime boundaries, cached once (phase advancement is on the
+    /// per-arrival path).
+    boundaries_ns: Vec<u64>,
+    /// Shift events applied so far.
+    applied: usize,
+    /// Current phase index (count of boundaries crossed).
+    phase: u32,
 }
 
 /// In-flight bookkeeping of one iteration.
@@ -448,6 +462,7 @@ pub struct ClusterSimulator<'obs> {
     exchange_ns: u64,
     drift: Option<DriftSchedule>,
     current_month: u32,
+    scenario: Option<ScenarioRuntime>,
     controller: Option<ReshardController>,
     fingerprint: u64,
     contention: Option<Contention>,
@@ -538,6 +553,7 @@ impl<'obs> ClusterSimulator<'obs> {
             exchange_ns: Self::exchange_ns_for(model, plan, system, &config),
             drift: None,
             current_month: 0,
+            scenario: None,
             controller: None,
             fingerprint: 0xCBF2_9CE4_8422_2325,
             contention,
@@ -549,6 +565,31 @@ impl<'obs> ClusterSimulator<'obs> {
     /// advance one month every `iterations_per_month` arrivals.
     pub fn with_drift(mut self, drift: DriftSchedule) -> Self {
         self.drift = Some(drift);
+        self
+    }
+
+    /// Attaches a workload scenario: the spec's rate curves scale the
+    /// inter-arrival gaps over virtual time (the same seeded gap draws are
+    /// consumed, only their lengths change, so a stationary scenario
+    /// replays bit-identically) and its shift events mutate the live
+    /// feature universe — hot-key re-hashing, per-class pooling drift,
+    /// table growth — at their scheduled virtual instants. Phase changes
+    /// are recorded as [`TraceEvent::ScenarioPhase`] instants when an
+    /// observation sink is attached. Composes with
+    /// [`with_drift`](Self::with_drift): drift adjusts the base model
+    /// first, then the scenario's shifts apply on top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ScenarioSpec::validate`].
+    pub fn with_scenario(mut self, spec: ScenarioSpec) -> Self {
+        spec.validate().unwrap_or_else(|e| panic!("{e}"));
+        self.scenario = Some(ScenarioRuntime {
+            boundaries_ns: spec.boundaries_ns(),
+            spec,
+            applied: 0,
+            phase: 0,
+        });
         self
     }
 
@@ -639,18 +680,64 @@ impl<'obs> ClusterSimulator<'obs> {
         }
     }
 
+    /// The workload's current effective model: the base model adjusted for
+    /// the drift schedule's month, with the scenario's applied shifts
+    /// layered on top.
+    fn effective_model(&self) -> ModelSpec {
+        let mut model = if self.current_month > 0 {
+            let drift = self.drift.as_ref().expect("month advanced without drift");
+            drift
+                .drift
+                .model_at_month(&self.base_model, self.current_month)
+        } else {
+            self.base_model.clone()
+        };
+        if let Some(sc) = &self.scenario {
+            if sc.applied > 0 {
+                model = sc.spec.model_after(&model, sc.applied);
+            }
+        }
+        model
+    }
+
     fn handle_arrival(&mut self, iter: u64) {
+        let now = self.queue.now();
         // Feature drift advances with the data the pipeline feeds in.
+        let mut refresh = false;
         if let Some(drift) = &self.drift {
             let month = drift.month_of_iteration(iter);
             if month > self.current_month {
                 self.current_month = month;
-                let drifted = drift.drift.model_at_month(&self.base_model, month);
-                self.workload.install_model(&drifted);
+                refresh = true;
             }
         }
-
-        let now = self.queue.now();
+        // Scenario shifts and phase boundaries apply at the first arrival
+        // at or past their virtual instant.
+        let mut phase_event = None;
+        if let Some(sc) = &mut self.scenario {
+            let t = now.as_ns();
+            let due = sc.spec.shifts_due(t);
+            if due > sc.applied {
+                sc.applied = due;
+                refresh = true;
+            }
+            let phase = sc.boundaries_ns.iter().filter(|&&b| b <= t).count() as u32;
+            if phase > sc.phase {
+                sc.phase = phase;
+                phase_event = Some(TraceEvent::ScenarioPhase {
+                    phase,
+                    rate_multiplier: sc.spec.rate_multiplier(t),
+                    shifts_applied: sc.applied as u64,
+                });
+            }
+        }
+        if refresh {
+            let model = self.effective_model();
+            self.workload.install_model(&model);
+        }
+        if let Some(event) = phase_event {
+            self.obs.record(now.as_ns(), event);
+        }
         let counters = self
             .workload
             .sample_iteration(self.config.batch_size, &mut self.workload_rng);
@@ -719,7 +806,13 @@ impl<'obs> ClusterSimulator<'obs> {
         );
 
         if iter + 1 < self.config.iterations {
-            let gap = self.config.arrival.next_gap_ns(&mut self.arrival_rng);
+            // The seeded gap draw is always consumed; the scenario only
+            // rescales its length, so attaching a stationary scenario (or
+            // none) replays bit-identically.
+            let mut gap = self.config.arrival.next_gap_ns(&mut self.arrival_rng);
+            if let Some(sc) = &self.scenario {
+                gap = sc.spec.scaled_gap_ns(gap, now.as_ns());
+            }
             self.queue
                 .schedule_after_ns(gap, Event::Arrival { iter: iter + 1 });
         }
@@ -1381,6 +1474,141 @@ mod tests {
         let single = plan.clone().with_topology(NodeTopology::single(4));
         let same = ClusterSimulator::new(&model, &single, &profile, &system, cfg).run();
         assert_eq!(same.fingerprint, flat.fingerprint);
+    }
+
+    #[test]
+    fn stationary_scenario_replays_bit_identically() {
+        let (model, profile, system, plan) = setup(2);
+        let plain = ClusterSimulator::new(&model, &plan, &profile, &system, config(200)).run();
+        let scenario = ClusterSimulator::new(&model, &plan, &profile, &system, config(200))
+            .with_scenario(ScenarioSpec::stationary())
+            .run();
+        assert_eq!(
+            plain, scenario,
+            "a stationary scenario must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_inflates_tail_latency_and_is_deterministic() {
+        let (model, profile, system, plan) = setup(2);
+        // Default 1 ms arrivals over 400 iterations ≈ 0.4 s of virtual
+        // time; the crowd lands at 50 ms and multiplies QPS by 1000 for
+        // 200 ms, far past the stations' service rate.
+        let cfg = config(400);
+        let stationary = ClusterSimulator::new(&model, &plan, &profile, &system, cfg)
+            .with_scenario(ScenarioSpec::stationary())
+            .run();
+        let flash = || {
+            ClusterSimulator::new(&model, &plan, &profile, &system, cfg)
+                .with_scenario(ScenarioSpec::flash_crowd(0.05, 0.2, 1000.0))
+                .run()
+        };
+        let a = flash();
+        let b = flash();
+        assert_eq!(a, b, "scenario runs must be deterministic per seed");
+        assert!(
+            a.p99_ms > stationary.p99_ms,
+            "a flash crowd must inflate tail latency ({} vs {})",
+            a.p99_ms,
+            stationary.p99_ms
+        );
+        assert_ne!(a.fingerprint, stationary.fingerprint);
+    }
+
+    #[test]
+    fn observed_scenario_run_matches_unobserved_and_emits_phase_events() {
+        let (model, profile, system, plan) = setup(2);
+        // 2x QPS between 50 ms and 100 ms: both boundaries (onset + end)
+        // fall well inside the run's ~0.3 s of virtual time.
+        let spec = ScenarioSpec::flash_crowd(0.05, 0.05, 2.0);
+        let cfg = config(300);
+        let plain = ClusterSimulator::new(&model, &plan, &profile, &system, cfg)
+            .with_scenario(spec.clone())
+            .run();
+        let mut collector = recshard_obs::Collector::new();
+        let traced = ClusterSimulator::new(&model, &plan, &profile, &system, cfg)
+            .with_scenario(spec)
+            .with_obs(&mut collector)
+            .run();
+        assert_eq!(plain, traced, "observation must not perturb a scenario run");
+        let bundle = collector.finish();
+        let phase_events: Vec<_> = bundle
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.event.name() == "scenario_phase")
+            .collect();
+        assert_eq!(
+            phase_events.len(),
+            2,
+            "crowd onset and end must each record a phase change"
+        );
+        let phases = bundle
+            .metrics
+            .entries
+            .iter()
+            .find(|(n, _)| n == "scenario.phases")
+            .map(|(_, v)| v.clone());
+        assert_eq!(phases, Some(recshard_obs::MetricValue::Counter(2)));
+    }
+
+    #[test]
+    fn drift_storm_scenario_triggers_a_reshard() {
+        use crate::controller::{ReshardController, ReshardPolicy};
+        use recshard_sharding::LookupCost;
+        let (model, profile, system, _) = setup(2);
+        // A class-split plan (user tables on GPU 0, content on GPU 1, all
+        // HBM-resident): balanced enough under the original statistics, but
+        // three compounding drift waves (user pooling ×1.4 each, content
+        // ×0.7) pile all the extra gather work onto GPU 0.
+        let placements: Vec<TablePlacement> = model
+            .features()
+            .iter()
+            .map(|f| TablePlacement {
+                table: f.id,
+                gpu: f.id.index() % 2,
+                hbm_rows: f.hash_size,
+                total_rows: f.hash_size,
+                row_bytes: f.row_bytes(),
+            })
+            .collect();
+        let plan = ShardingPlan::new("class-split", 2, placements);
+        let spec = ScenarioSpec::drift_storm(0.05, 0.05, 3);
+        let run = |scenario: Option<ScenarioSpec>| {
+            let policy = ReshardPolicy {
+                check_every_iterations: 100,
+                ..ReshardPolicy::default()
+            };
+            let solver: Box<crate::controller::PlanSolver> =
+                Box::new(|m, p, s, _prev| GreedySharder::new(LookupCost).shard(m, p, s).ok());
+            // No launch overhead: busy time is pure gather time, so the
+            // imbalance signal reflects the (drifting) lookup volumes and
+            // not the constant per-table kernel cost.
+            let cfg = ClusterConfig {
+                kernel_overhead_us_per_table: 0.0,
+                ..config(600)
+            };
+            let mut sim = ClusterSimulator::new(&model, &plan, &profile, &system, cfg)
+                .with_controller(ReshardController::new(policy, solver));
+            if let Some(spec) = scenario {
+                sim = sim.with_scenario(spec);
+            }
+            sim.run()
+        };
+        let stormed = run(Some(spec));
+        assert!(
+            stormed.reshards >= 1,
+            "a sustained drift storm must trip the re-sharding controller \
+             (got {} reshards)",
+            stormed.reshards
+        );
+        // Causality: the same plan under the unshifted workload stays put.
+        let calm = run(None);
+        assert_eq!(
+            calm.reshards, 0,
+            "without the storm the controller must not fire"
+        );
     }
 
     #[test]

@@ -180,7 +180,19 @@ impl ReshardController {
         system: &SystemSpec,
     ) -> CheckOutcome {
         if self.window_baseline_ns.len() != busy_ns.len() {
-            self.window_baseline_ns = vec![0; busy_ns.len()];
+            if self.window_baseline_ns.is_empty() {
+                // First check of the run: the window is everything since
+                // the start.
+                self.window_baseline_ns = vec![0; busy_ns.len()];
+            } else {
+                // Topology changed (GPUs added or removed) mid-run: the
+                // cumulative busy counters are incomparable with the old
+                // baseline. Re-baseline from the *current* counters — the
+                // first post-change window is then empty (imbalance 1.0)
+                // instead of comparing cumulative busy time against zero
+                // and firing a phantom re-shard.
+                self.window_baseline_ns = busy_ns.to_vec();
+            }
         }
         let window: Vec<u64> = busy_ns
             .iter()
@@ -315,6 +327,33 @@ mod tests {
         match outcome {
             CheckOutcome::Balanced { imbalance } => assert!((imbalance - 1.0).abs() < 1e-9),
             other => panic!("expected balanced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topology_growth_rebaselines_instead_of_firing() {
+        let (model, plan, system) = setup();
+        // Solver that would happily install a different plan if asked.
+        let solver: Box<PlanSolver> =
+            Box::new(|m, p, s, _prev| GreedySharder::new(LookupCost).shard(m, p, s).ok());
+        let mut c = ReshardController::new(ReshardPolicy::default(), solver);
+        // Establish a baseline on a 2-GPU topology.
+        let _ = c.check(&[500, 500], &model, &plan, &system);
+        // The cluster grows to 4 GPUs mid-run. The cumulative counters of the
+        // veterans are large, the newcomers' are zero — comparing against a
+        // zeroed baseline would report a huge phantom imbalance. Re-baselining
+        // must report a balanced (empty) first window instead.
+        let outcome = c.check(&[600_000, 600_000, 0, 0], &model, &plan, &system);
+        match outcome {
+            CheckOutcome::Balanced { imbalance } => assert!((imbalance - 1.0).abs() < 1e-9),
+            other => panic!("expected balanced after topology change, got {other:?}"),
+        }
+        assert_eq!(c.reshard_count(), 0, "no phantom reshard may fire");
+        // The next window is differential against the new counters.
+        let outcome = c.check(&[600_100, 600_100, 100, 100], &model, &plan, &system);
+        match outcome {
+            CheckOutcome::Balanced { imbalance } => assert!((imbalance - 1.0).abs() < 1e-9),
+            other => panic!("expected balanced differential window, got {other:?}"),
         }
     }
 

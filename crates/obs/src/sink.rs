@@ -122,6 +122,9 @@ struct Ids {
     serve_evictions: CounterId,
     serve_latency_ms: QuantileId,
     serve_service_ms: QuantileId,
+    scenario_phases: CounterId,
+    scenario_rate_multiplier: GaugeId,
+    scenario_shifts_applied: GaugeId,
 }
 
 impl Ids {
@@ -156,6 +159,9 @@ impl Ids {
             serve_evictions: reg.counter("serve.cache.evictions"),
             serve_latency_ms: reg.quantile("serve.latency_ms"),
             serve_service_ms: reg.quantile("serve.service_ms"),
+            scenario_phases: reg.counter("scenario.phases"),
+            scenario_rate_multiplier: reg.gauge("scenario.rate_multiplier"),
+            scenario_shifts_applied: reg.gauge("scenario.shifts_applied"),
         }
     }
 }
@@ -303,6 +309,15 @@ impl Collector {
             TraceEvent::QueryLatency { latency_ns, .. } => {
                 reg.incr(ids.serve_queries);
                 reg.record(ids.serve_latency_ms, latency_ns as f64 / 1e6);
+            }
+            TraceEvent::ScenarioPhase {
+                rate_multiplier,
+                shifts_applied,
+                ..
+            } => {
+                reg.incr(ids.scenario_phases);
+                reg.set(ids.scenario_rate_multiplier, rate_multiplier);
+                reg.set(ids.scenario_shifts_applied, shifts_applied as f64);
             }
             TraceEvent::CacheShard { evictions, .. } => {
                 reg.add(ids.serve_evictions, evictions);

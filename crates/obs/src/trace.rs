@@ -35,6 +35,8 @@ const LANE_EXCHANGE: u32 = 901;
 const LANE_CONTROL: u32 = 902;
 /// Synthetic lane for shared-rate link (contention) events.
 const LANE_LINK: u32 = 903;
+/// Synthetic lane for scenario phase-change events.
+const LANE_SCENARIO: u32 = 904;
 /// Synthetic lane for solver (simplex / B&B / bucketing) events.
 const LANE_SOLVER: u32 = 1000;
 
@@ -240,6 +242,18 @@ pub enum TraceEvent {
         /// Arrival → slowest-shard-done latency.
         latency_ns: u64,
     },
+    /// The driving workload scenario entered a new phase: a rate-curve
+    /// regime boundary was crossed and/or distribution shifts applied
+    /// (DES and serve instant).
+    ScenarioPhase {
+        /// Phase index after the change (0 is never emitted — runs start
+        /// in phase 0).
+        phase: u32,
+        /// Composed arrival-rate multiplier at the boundary.
+        rate_multiplier: f64,
+        /// Total distribution shifts applied so far.
+        shifts_applied: u64,
+    },
     /// End-state cache counters of one shard (serve, warmup included).
     CacheShard {
         /// Shard (GPU) index.
@@ -286,6 +300,7 @@ impl TraceEvent {
             TraceEvent::NodeSolve { .. } => "node_solve",
             TraceEvent::QueryServed { .. } => "query_served",
             TraceEvent::QueryLatency { .. } => "query_latency",
+            TraceEvent::ScenarioPhase { .. } => "scenario_phase",
             TraceEvent::CacheShard { .. } => "cache_shard",
         }
     }
@@ -302,6 +317,7 @@ impl TraceEvent {
             | TraceEvent::SimulationDone { .. }
             | TraceEvent::QueryLatency { .. } => LANE_CONTROL,
             TraceEvent::LinkTransfer { .. } | TraceEvent::LinkTenancy { .. } => LANE_LINK,
+            TraceEvent::ScenarioPhase { .. } => LANE_SCENARIO,
             TraceEvent::LpSolved { .. }
             | TraceEvent::BnbOpen { .. }
             | TraceEvent::BnbPrune { .. }
@@ -455,6 +471,14 @@ impl TraceEvent {
             TraceEvent::QueryLatency { query, latency_ns } => {
                 format!("{{\"query\":{query},\"latency_ns\":{latency_ns}}}")
             }
+            TraceEvent::ScenarioPhase {
+                phase,
+                rate_multiplier,
+                shifts_applied,
+            } => format!(
+                "{{\"phase\":{phase},\"rate_multiplier\":{},\"shifts_applied\":{shifts_applied}}}",
+                fmt_f64(rate_multiplier)
+            ),
             TraceEvent::CacheShard {
                 shard,
                 hits,
@@ -605,6 +629,7 @@ impl Trace {
                 LANE_EXCHANGE => "exchange".to_string(),
                 LANE_CONTROL => "control".to_string(),
                 LANE_LINK => "links".to_string(),
+                LANE_SCENARIO => "scenario".to_string(),
                 LANE_SOLVER => "solver".to_string(),
                 gpu => format!("gpu {gpu}"),
             };

@@ -301,14 +301,19 @@ impl ShardedCache {
     }
 
     fn build(policy: PolicyKind, guide: Option<StatGuide>, config: CacheConfig) -> Self {
+        // Distribute the byte budget exactly: the first `remainder` stripes
+        // take one extra byte, so the per-stripe capacities always sum to the
+        // configured total (integer division alone would silently discard up
+        // to `stripes - 1` bytes).
         let per_stripe = config.capacity_bytes / config.stripes as u64;
+        let remainder = config.capacity_bytes % config.stripes as u64;
         Self {
             policy,
             guide,
             stripes: (0..config.stripes)
-                .map(|_| {
+                .map(|i| {
                     Mutex::new(Stripe {
-                        capacity: per_stripe,
+                        capacity: per_stripe + u64::from((i as u64) < remainder),
                         ..Stripe::default()
                     })
                 })
@@ -380,9 +385,13 @@ impl ShardedCache {
         total
     }
 
-    /// Total capacity across all stripes, in bytes.
+    /// Total capacity across all stripes, in bytes. Always equals the
+    /// configured [`CacheConfig::capacity_bytes`], stripe count regardless.
     pub fn capacity_bytes(&self) -> u64 {
-        self.stripes.len() as u64 * self.stripes[0].lock().expect("stripe poisoned").capacity
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe poisoned").capacity)
+            .sum()
     }
 }
 
@@ -539,5 +548,25 @@ mod tests {
     #[should_panic(expected = "StatGuided needs a guide")]
     fn stat_guided_without_guide_rejected() {
         let _ = ShardedCache::new(PolicyKind::StatGuided, CacheConfig::new(64));
+    }
+
+    #[test]
+    fn non_divisible_capacity_is_fully_distributed() {
+        // 103 bytes over 8 stripes: integer division would keep 8×12 = 96
+        // bytes and silently drop 7. The remainder must be spread across the
+        // first stripes and `capacity_bytes()` must report the exact total.
+        let c = ShardedCache::new(PolicyKind::Lru, CacheConfig::new(103).with_stripes(8));
+        assert_eq!(c.capacity_bytes(), 103);
+        let per_stripe: Vec<u64> = c
+            .stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe poisoned").capacity)
+            .collect();
+        assert_eq!(per_stripe.iter().sum::<u64>(), 103);
+        assert!(per_stripe.iter().all(|&c| c == 12 || c == 13));
+        assert_eq!(per_stripe.iter().filter(|&&c| c == 13).count(), 7);
+        // Divisible capacities still split evenly.
+        let even = ShardedCache::new(PolicyKind::Lru, CacheConfig::new(64).with_stripes(8));
+        assert_eq!(even.capacity_bytes(), 64);
     }
 }

@@ -74,5 +74,5 @@ pub use cache::{CacheConfig, CacheStats, Lookup, ShardedCache};
 pub use placement::hash_placement;
 pub use policy::{PolicyKind, StatGuide, StatGuidedConfig};
 pub use report::ServeReport;
-pub use request::{ArrivalModel, RequestStream, ShardTask};
+pub use request::{ArrivalModel, PhaseChange, RequestStream, ShardTask};
 pub use server::{InferenceServer, ServeConfig};

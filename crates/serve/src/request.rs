@@ -13,8 +13,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use recshard_data::{ModelSpec, SampleGenerator};
+use recshard_data::{ModelSpec, SampleGenerator, ScenarioSpec};
 use serde::{Deserialize, Serialize};
+
+/// Salt mixed into the stream seed when a scenario shift re-derives the
+/// sample generator, so each applied-shift count gets an independent but
+/// fully seeded continuation of the stream.
+const SHIFT_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// How inference requests arrive at the server (open loop).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,6 +67,20 @@ pub struct ShardTask {
     pub lookups: Vec<(u32, u64)>,
 }
 
+/// A scenario phase transition observed while materialising a stream:
+/// the first arrival at or after a rate-curve boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseChange {
+    /// Arrival time at which the new phase was first observed, in ns.
+    pub at_ns: u64,
+    /// Phase index (count of boundaries crossed so far).
+    pub phase: u32,
+    /// The scenario's rate multiplier at that instant.
+    pub rate_multiplier: f64,
+    /// Distribution shifts applied up to and including that instant.
+    pub shifts_applied: u64,
+}
+
 /// A fully materialised, seeded request stream, pre-partitioned per shard.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestStream {
@@ -90,15 +109,75 @@ impl RequestStream {
         arrival: ArrivalModel,
         seed: u64,
     ) -> Self {
+        Self::generate_impl(
+            model, gpu_of, num_shards, queries, batch, arrival, seed, None,
+        )
+        .0
+    }
+
+    /// Like [`generate`](Self::generate), but modulated by a scenario: gaps
+    /// are scaled by the spec's rate curves at each arrival's virtual time,
+    /// and distribution shifts re-derive the hashers and sample generator
+    /// from [`ScenarioSpec::model_after`] the moment they fall due. Returns
+    /// the phase transitions alongside the stream so callers can trace them.
+    ///
+    /// A stationary scenario reproduces [`generate`](Self::generate)
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// As [`generate`](Self::generate), plus if the spec fails
+    /// [`ScenarioSpec::validate`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_scenario(
+        model: &ModelSpec,
+        gpu_of: &[usize],
+        num_shards: usize,
+        queries: u32,
+        batch: usize,
+        arrival: ArrivalModel,
+        seed: u64,
+        scenario: &ScenarioSpec,
+    ) -> (Self, Vec<PhaseChange>) {
+        if let Err(e) = scenario.validate() {
+            panic!("invalid scenario spec: {e}");
+        }
+        Self::generate_impl(
+            model,
+            gpu_of,
+            num_shards,
+            queries,
+            batch,
+            arrival,
+            seed,
+            Some(scenario),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate_impl(
+        model: &ModelSpec,
+        gpu_of: &[usize],
+        num_shards: usize,
+        queries: u32,
+        batch: usize,
+        arrival: ArrivalModel,
+        seed: u64,
+        scenario: Option<&ScenarioSpec>,
+    ) -> (Self, Vec<PhaseChange>) {
         assert_eq!(gpu_of.len(), model.num_features(), "routing/model mismatch");
         assert!(batch > 0, "a query must contain at least one sample");
         assert!(
             gpu_of.iter().all(|&g| g < num_shards),
             "routing targets an out-of-range shard"
         );
-        let hashers: Vec<_> = model.features().iter().map(|f| f.hasher()).collect();
+        let mut hashers: Vec<_> = model.features().iter().map(|f| f.hasher()).collect();
         let mut gen = SampleGenerator::new(model, seed);
         let mut arrival_rng = StdRng::seed_from_u64(seed ^ 0x5E2E_A221_7A1C_0FFE);
+        let boundaries = scenario.map(|s| s.boundaries_ns()).unwrap_or_default();
+        let mut applied = 0usize;
+        let mut phase = 0u32;
+        let mut phase_changes = Vec::new();
 
         let mut arrivals_ns = Vec::with_capacity(queries as usize);
         let mut shard_tasks: Vec<Vec<ShardTask>> = vec![Vec::new(); num_shards];
@@ -107,7 +186,36 @@ impl RequestStream {
         let mut per_shard: Vec<Vec<(u32, u64)>> = vec![Vec::new(); num_shards];
         for q in 0..queries {
             arrivals_ns.push(now);
-            now += arrival.next_gap_ns(&mut arrival_rng);
+            if let Some(spec) = scenario {
+                // Shifts due at or before this arrival rebuild the sampling
+                // state; the shifted stream stays fully seeded because the
+                // generator seed is derived from (seed, applied).
+                let due = spec.shifts_due(now);
+                if due > applied {
+                    applied = due;
+                    let shifted = spec.model_after(model, applied);
+                    hashers = shifted.features().iter().map(|f| f.hasher()).collect();
+                    gen = SampleGenerator::new(
+                        &shifted,
+                        seed ^ (applied as u64).wrapping_mul(SHIFT_SEED_SALT),
+                    );
+                }
+                let now_phase = boundaries.iter().filter(|&&b| b <= now).count() as u32;
+                if now_phase > phase {
+                    phase = now_phase;
+                    phase_changes.push(PhaseChange {
+                        at_ns: now,
+                        phase,
+                        rate_multiplier: spec.rate_multiplier(now),
+                        shifts_applied: applied as u64,
+                    });
+                }
+            }
+            let mut gap = arrival.next_gap_ns(&mut arrival_rng);
+            if let Some(spec) = scenario {
+                gap = spec.scaled_gap_ns(gap, now);
+            }
+            now += gap;
             for slot in &mut per_shard {
                 slot.clear();
             }
@@ -130,11 +238,14 @@ impl RequestStream {
                 }
             }
         }
-        Self {
-            arrivals_ns,
-            shard_tasks,
-            total_lookups,
-        }
+        (
+            Self {
+                arrivals_ns,
+                shard_tasks,
+                total_lookups,
+            },
+            phase_changes,
+        )
     }
 
     /// Number of queries in the stream.
@@ -223,5 +334,68 @@ mod tests {
                 assert!(w[0].query < w[1].query);
             }
         }
+    }
+
+    #[test]
+    fn stationary_scenario_matches_plain_generate() {
+        let (model, plain) = stream(7);
+        let gpu_of: Vec<usize> = (0..model.num_features()).map(|t| t % 2).collect();
+        let (s, phases) = RequestStream::generate_scenario(
+            &model,
+            &gpu_of,
+            2,
+            50,
+            4,
+            ArrivalModel::FixedRate { interval_us: 10.0 },
+            7,
+            &ScenarioSpec::stationary(),
+        );
+        assert_eq!(s, plain, "stationary scenario must replay bit-identically");
+        assert!(phases.is_empty());
+    }
+
+    #[test]
+    fn flash_crowd_compresses_gaps_and_reports_phases() {
+        let model = ModelSpec::small(6, 4);
+        let gpu_of: Vec<usize> = (0..model.num_features()).map(|t| t % 2).collect();
+        // 200 queries at a 10 µs base gap; 2x flash from 0.5 ms to 1.0 ms.
+        let spec = ScenarioSpec::flash_crowd(0.5e-3, 0.5e-3, 2.0);
+        let run = || {
+            RequestStream::generate_scenario(
+                &model,
+                &gpu_of,
+                2,
+                200,
+                4,
+                ArrivalModel::FixedRate { interval_us: 10.0 },
+                7,
+                &spec,
+            )
+        };
+        let (a, pa) = run();
+        let (b, pb) = run();
+        assert_eq!(a, b, "scenario streams must be deterministic per seed");
+        assert_eq!(pa, pb);
+        assert_eq!(pa.len(), 2, "both flash boundaries must be crossed");
+        assert_eq!(pa[0].phase, 1);
+        assert_eq!(pa[0].rate_multiplier, 2.0);
+        assert_eq!(pa[0].shifts_applied, 1, "the hot-key shift rides the flash");
+        assert_eq!(pa[1].phase, 2);
+        assert_eq!(pa[1].rate_multiplier, 1.0);
+        // Inside the flash window the fixed 10 µs gap halves to 5 µs.
+        assert_eq!(a.arrivals_ns[51] - a.arrivals_ns[50], 5_000);
+        assert_eq!(a.arrivals_ns[1] - a.arrivals_ns[0], 10_000);
+        assert_eq!(a.arrivals_ns[199] - a.arrivals_ns[198], 10_000);
+        // The hot-key shift re-derives the sampled stream.
+        let plain_long = RequestStream::generate(
+            &model,
+            &gpu_of,
+            2,
+            200,
+            4,
+            ArrivalModel::FixedRate { interval_us: 10.0 },
+            7,
+        );
+        assert_ne!(a.shard_tasks, plain_long.shard_tasks);
     }
 }

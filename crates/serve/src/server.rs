@@ -24,7 +24,7 @@ use crate::cache::{CacheConfig, CacheStats, Lookup, ShardedCache};
 use crate::policy::{PolicyKind, StatGuide, StatGuidedConfig};
 use crate::report::ServeReport;
 use crate::request::{ArrivalModel, RequestStream, ShardTask};
-use recshard_data::ModelSpec;
+use recshard_data::{ModelSpec, ScenarioSpec};
 use recshard_obs::{Collector, MetricsRegistry, ObsBundle, ObsSink, TraceBuffer, TraceEvent};
 use recshard_sharding::{ShardingPlan, SystemSpec};
 use recshard_stats::DatasetProfile;
@@ -155,7 +155,57 @@ impl InferenceServer {
         system: &SystemSpec,
         config: ServeConfig,
     ) -> ServeReport {
-        Self::run_impl(model, plan, profile, system, config, None)
+        Self::run_impl(model, plan, profile, system, config, None, None)
+    }
+
+    /// Like [`run`](Self::run), but serving a scenario-modulated stream:
+    /// arrival gaps follow the spec's rate curves and distribution shifts
+    /// re-derive the sampled traffic mid-run
+    /// (see [`RequestStream::generate_scenario`]). A stationary scenario
+    /// reproduces [`run`](Self::run) bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// As [`run`](Self::run), plus if the spec fails
+    /// [`ScenarioSpec::validate`].
+    pub fn run_scenario(
+        model: &ModelSpec,
+        plan: &ShardingPlan,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        config: ServeConfig,
+        scenario: &ScenarioSpec,
+    ) -> ServeReport {
+        Self::run_impl(model, plan, profile, system, config, Some(scenario), None)
+    }
+
+    /// [`run_scenario`](Self::run_scenario) with observation: the bundle
+    /// additionally carries one `scenario_phase` trace event per rate-curve
+    /// boundary crossed, plus `scenario.*` metrics. The report is identical
+    /// to the untraced [`run_scenario`](Self::run_scenario).
+    ///
+    /// # Panics
+    ///
+    /// As [`run_scenario`](Self::run_scenario).
+    pub fn run_scenario_traced(
+        model: &ModelSpec,
+        plan: &ShardingPlan,
+        profile: &DatasetProfile,
+        system: &SystemSpec,
+        config: ServeConfig,
+        scenario: &ScenarioSpec,
+    ) -> (ServeReport, ObsBundle) {
+        let mut collector = Collector::new();
+        let report = Self::run_impl(
+            model,
+            plan,
+            profile,
+            system,
+            config,
+            Some(scenario),
+            Some(&mut collector),
+        );
+        (report, collector.finish())
     }
 
     /// Like [`run`](Self::run), additionally collecting a structured trace
@@ -175,7 +225,15 @@ impl InferenceServer {
         config: ServeConfig,
     ) -> (ServeReport, ObsBundle) {
         let mut collector = Collector::new();
-        let report = Self::run_impl(model, plan, profile, system, config, Some(&mut collector));
+        let report = Self::run_impl(
+            model,
+            plan,
+            profile,
+            system,
+            config,
+            None,
+            Some(&mut collector),
+        );
         (report, collector.finish())
     }
 
@@ -185,7 +243,8 @@ impl InferenceServer {
         profile: &DatasetProfile,
         system: &SystemSpec,
         config: ServeConfig,
-        obs: Option<&mut Collector>,
+        scenario: Option<&ScenarioSpec>,
+        mut obs: Option<&mut Collector>,
     ) -> ServeReport {
         assert!(config.queries > 0, "must serve at least one query");
         assert_eq!(
@@ -222,15 +281,42 @@ impl InferenceServer {
             .collect();
 
         let total_queries = config.warmup + config.queries;
-        let stream = RequestStream::generate(
-            model,
-            &gpu_of,
-            shards,
-            total_queries,
-            config.batch_size,
-            config.arrival,
-            config.seed,
-        );
+        let stream = match scenario {
+            None => RequestStream::generate(
+                model,
+                &gpu_of,
+                shards,
+                total_queries,
+                config.batch_size,
+                config.arrival,
+                config.seed,
+            ),
+            Some(spec) => {
+                let (stream, phase_changes) = RequestStream::generate_scenario(
+                    model,
+                    &gpu_of,
+                    shards,
+                    total_queries,
+                    config.batch_size,
+                    config.arrival,
+                    config.seed,
+                    spec,
+                );
+                if let Some(c) = obs.as_deref_mut() {
+                    for pc in &phase_changes {
+                        c.record(
+                            pc.at_ns,
+                            TraceEvent::ScenarioPhase {
+                                phase: pc.phase,
+                                rate_multiplier: pc.rate_multiplier,
+                                shifts_applied: pc.shifts_applied,
+                            },
+                        );
+                    }
+                }
+                stream
+            }
+        };
         let row_bytes: Vec<u64> = model.features().iter().map(|f| f.row_bytes()).collect();
 
         // Shards on nodes other than the front-end's (node 0) pay one
@@ -731,6 +817,58 @@ mod tests {
         let b = InferenceServer::run(&model, &plan, &profile, &system, explicit);
         assert_eq!(a.fingerprint, b.fingerprint);
         assert!(a.p50_ms > 0.0);
+    }
+
+    #[test]
+    fn stationary_scenario_reproduces_the_plain_run() {
+        let (model, profile, system) = setup();
+        let plan = hash_placement(&model, 2);
+        let cfg = config(PolicyKind::StatGuided);
+        let plain = InferenceServer::run(&model, &plan, &profile, &system, cfg);
+        let stationary = InferenceServer::run_scenario(
+            &model,
+            &plan,
+            &profile,
+            &system,
+            cfg,
+            &ScenarioSpec::stationary(),
+        );
+        assert_eq!(
+            plain, stationary,
+            "a stationary scenario must replay the plain run bit-identically"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_scenario_is_deterministic_and_observable() {
+        let (model, profile, system) = setup();
+        let plan = hash_placement(&model, 2);
+        let cfg = config(PolicyKind::StatGuided);
+        // 500 total queries at 50 µs span 25 ms; 2x flash over [5 ms, 10 ms).
+        let spec = ScenarioSpec::flash_crowd(5e-3, 5e-3, 2.0);
+        let a = InferenceServer::run_scenario(&model, &plan, &profile, &system, cfg, &spec);
+        let b = InferenceServer::run_scenario(&model, &plan, &profile, &system, cfg, &spec);
+        assert_eq!(a, b, "same seed and spec must reproduce the report");
+        let plain = InferenceServer::run(&model, &plan, &profile, &system, cfg);
+        assert_ne!(a.fingerprint, plain.fingerprint);
+
+        let (traced, bundle) =
+            InferenceServer::run_scenario_traced(&model, &plan, &profile, &system, cfg, &spec);
+        assert_eq!(a, traced, "tracing must not perturb the scenario run");
+        let phases: Vec<_> = bundle
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.event.name() == "scenario_phase")
+            .collect();
+        assert_eq!(phases.len(), 2, "both flash boundaries must be traced");
+        let counter = bundle
+            .metrics
+            .entries
+            .iter()
+            .find(|(n, _)| n == "scenario.phases")
+            .map(|(_, v)| v.clone());
+        assert_eq!(counter, Some(recshard_obs::MetricValue::Counter(2)));
     }
 
     #[test]
