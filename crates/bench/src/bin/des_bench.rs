@@ -32,6 +32,7 @@
 //! `RECSHARD_BENCH_TOLERANCE`, `RECSHARD_BENCH_ALLOW_DRIFT`,
 //! `RECSHARD_OBS_DIR`.
 
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 use recshard_bench::des_bench::{
     fingerprint_drift, run_sweep, throughput_regressions, traced_smoke, DesBenchConfig,
 };

@@ -19,6 +19,7 @@
 //! `RECSHARD_DES_ITERS` (default 10,000, min 10,000), `RECSHARD_SIM_BATCH`
 //! (default 32), `RECSHARD_SEED`.
 
+#![allow(clippy::print_stdout)]
 use recshard_bench::report::{determinism_report, env_u64, RunReport};
 use recshard_bench::{print_row, skewed_model, Strategy};
 use recshard_des::{ArrivalProcess, ClusterConfig, ClusterSimulator, RunSummary};

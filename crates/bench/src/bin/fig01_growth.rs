@@ -1,6 +1,7 @@
 //! Figure 1: DLRM memory-capacity and bandwidth demand growth (2017–2021)
 //! versus the growth of accelerator HBM capacity and interconnect bandwidth.
 
+#![allow(clippy::print_stdout)]
 use recshard_data::{GrowthTrend, HardwareCatalog};
 
 fn main() {

@@ -1,6 +1,7 @@
 //! Figure 4: sparse feature cardinality versus chosen hash size for the
 //! reference model's feature universe.
 
+#![allow(clippy::print_stdout)]
 use recshard_data::ModelSpec;
 
 fn main() {

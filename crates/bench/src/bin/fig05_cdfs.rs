@@ -4,6 +4,7 @@
 //! by the hottest 1/5/10/25/50/100% of accessed rows, plus summary statistics
 //! over the whole feature universe.
 
+#![allow(clippy::print_stdout)]
 use recshard_bench::ExperimentConfig;
 use recshard_data::RmKind;
 

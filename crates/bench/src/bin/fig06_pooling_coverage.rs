@@ -1,5 +1,6 @@
 //! Figure 6: per-feature average pooling factor (6a) and coverage (6b).
 
+#![allow(clippy::print_stdout)]
 use recshard_bench::ExperimentConfig;
 use recshard_data::RmKind;
 use recshard_stats::Summary;

@@ -1,6 +1,7 @@
 //! Figure 7: pre- vs post-hash value frequency distributions and the
 //! resulting embedding-table under-utilisation for one skewed feature.
 
+#![allow(clippy::print_stdout)]
 use recshard::hash_analysis::pre_post_hash_distribution;
 use recshard_data::hash::expected_usage;
 

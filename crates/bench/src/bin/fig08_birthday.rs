@@ -1,6 +1,7 @@
 //! Figure 8: hash usage, collisions and sparsity as the hash size grows from
 //! a fraction of the input cardinality to 10x (the birthday-paradox curve).
 
+#![allow(clippy::print_stdout)]
 use recshard::hash_size_sweep;
 
 fn main() {

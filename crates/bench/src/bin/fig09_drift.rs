@@ -1,6 +1,7 @@
 //! Figure 9: drift of the average pooling factor of user and content features
 //! over a 20-month window.
 
+#![allow(clippy::print_stdout)]
 use recshard_data::DriftModel;
 
 fn main() {

@@ -1,6 +1,7 @@
 //! Figure 12: the partitions and placements RecShard makes for RM2 —
 //! per-EMB fraction placed on UVM, grouped by owning GPU.
 
+#![allow(clippy::print_stdout)]
 use recshard_bench::{compare_strategies, ExperimentConfig, Strategy};
 use recshard_data::RmKind;
 

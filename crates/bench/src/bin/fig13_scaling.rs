@@ -13,6 +13,7 @@
 //!   out far larger than under the single-iteration backend — that
 //!   amplification under sustained load is precisely what the DES models.
 
+#![allow(clippy::print_stdout)]
 use recshard_bench::{compare_strategies, ExperimentConfig, Strategy};
 use recshard_data::RmKind;
 use recshard_des::ArrivalProcess;

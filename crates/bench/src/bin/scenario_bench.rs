@@ -34,6 +34,7 @@
 //! `RECSHARD_BENCH_TOLERANCE`, `RECSHARD_BENCH_ALLOW_DRIFT`,
 //! `RECSHARD_OBS_DIR`.
 
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 use recshard_bench::report::RunReport;
 use recshard_bench::scenario_bench::{
     fingerprint_drift, run_sweep, throughput_regressions, traced_smoke, ScenarioBenchConfig,

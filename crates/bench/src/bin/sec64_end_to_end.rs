@@ -2,6 +2,7 @@
 //! different embedding-time shares and embedding speedups, plus the solver
 //! and remapping overheads of Section 6.6.
 
+#![allow(clippy::print_stdout)]
 use recshard::analysis::amdahl_end_to_end_speedup;
 use recshard::{RecShard, RecShardConfig};
 use recshard_bench::ExperimentConfig;
@@ -36,6 +37,8 @@ fn main() {
     for kind in [RmKind::Rm1, RmKind::Rm2, RmKind::Rm3] {
         let model = cfg.model(kind);
         let system = cfg.system();
+        // recshard-lint: allow(wall-clock) -- this bin's whole purpose is the
+        // human-readable overhead table; wall time never reaches BENCH_*.json.
         let start = Instant::now();
         let out = RecShard::new(RecShardConfig::default())
             .run(&model, &system, cfg.profile_samples, cfg.seed)

@@ -23,6 +23,7 @@
 //! `RECSHARD_SERVE_REQUESTS` (default 20,000), `RECSHARD_SERVE_WARMUP`
 //! (default 2,000), `RECSHARD_SERVE_BATCH` (default 8), `RECSHARD_SEED`.
 
+#![allow(clippy::print_stdout)]
 use recshard_bench::report::{determinism_report, env_u64, RunReport};
 use recshard_bench::{print_row, skewed_model, Strategy};
 use recshard_serve::{

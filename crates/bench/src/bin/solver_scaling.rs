@@ -20,6 +20,7 @@
 //! Environment overrides: `RECSHARD_SOLVER_MAX_TABLES`,
 //! `RECSHARD_SOLVER_MAX_GPUS`, `RECSHARD_SEED`, `RECSHARD_BENCH_TIMING`.
 
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 use recshard_bench::report::RunReport;
 use recshard_bench::solver_bench::{cost_regressions, run_sweep, SolverBenchConfig};
 

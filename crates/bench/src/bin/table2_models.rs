@@ -1,5 +1,6 @@
 //! Table 2: specifications of the three reference DLRMs.
 
+#![allow(clippy::print_stdout)]
 use recshard_bench::fmt_count;
 use recshard_data::{ModelSpec, RmKind};
 

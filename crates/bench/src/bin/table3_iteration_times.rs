@@ -2,6 +2,7 @@
 //! (min/max/mean/std) for every sharding strategy on RM1/RM2/RM3, and the
 //! speedup of each strategy normalised to the slowest in its group.
 
+#![allow(clippy::print_stdout)]
 use recshard::analysis::SpeedupReport;
 use recshard_bench::{compare_strategies, ExperimentConfig, Strategy};
 use recshard_data::RmKind;

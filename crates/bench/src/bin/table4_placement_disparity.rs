@@ -2,6 +2,7 @@
 //! the fraction of rows a baseline put in UVM that RecShard promotes to HBM,
 //! and vice versa (RM2 and RM3, which need UVM on 16 GPUs).
 
+#![allow(clippy::print_stdout)]
 use recshard::analysis::PlanComparison;
 use recshard_bench::{compare_strategies, ExperimentConfig, Strategy};
 use recshard_data::RmKind;

@@ -1,6 +1,7 @@
 //! Table 5: average HBM and UVM row accesses per GPU per iteration for every
 //! sharding strategy on RM1/RM2/RM3.
 
+#![allow(clippy::print_stdout)]
 use recshard_bench::{compare_strategies, fmt_count, ExperimentConfig, Strategy};
 use recshard_data::RmKind;
 

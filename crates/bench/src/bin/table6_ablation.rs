@@ -2,6 +2,7 @@
 //! for the four formulation variants (CDF only, CDF+Coverage, CDF+Pooling,
 //! Full).
 
+#![allow(clippy::print_stdout)]
 use recshard::{AblationVariant, RecShard, RecShardConfig};
 use recshard_bench::{fmt_count, ExperimentConfig};
 use recshard_data::RmKind;

@@ -94,8 +94,10 @@ pub fn pre_post_hash_distribution(
     let zipf = Zipf::new(cardinality, zipf_exponent);
     let hasher = FeatureHasher::new(hash_size, seed);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut pre = std::collections::HashMap::new();
-    let mut post = std::collections::HashMap::new();
+    // BTreeMaps so the into_values() walks below are ordered; the counts are
+    // sorted afterwards anyway, but the intermediate walk stays deterministic.
+    let mut pre = std::collections::BTreeMap::new();
+    let mut post = std::collections::BTreeMap::new();
     for _ in 0..num_lookups {
         let v = zipf.sample(&mut rng);
         *pre.entry(v).or_insert(0u64) += 1;

@@ -77,25 +77,33 @@ impl HardwareCatalog {
         &self.generations
     }
 
+    /// First and last catalogued generations. Every constructor installs the
+    /// hardcoded non-empty series, so both endpoints always exist.
+    fn endpoints(&self) -> (&GpuGeneration, &GpuGeneration) {
+        // recshard-lint: allow(unwrap) -- the catalog is only built from the
+        // hardcoded non-empty series above.
+        let first = self.generations.first().expect("catalog not empty");
+        // recshard-lint: allow(unwrap) -- same invariant.
+        let last = self.generations.last().expect("catalog not empty");
+        (first, last)
+    }
+
     /// Growth multiple of HBM capacity between the first and last generation.
     pub fn hbm_capacity_growth(&self) -> f64 {
-        let first = self.generations.first().expect("catalog not empty");
-        let last = self.generations.last().expect("catalog not empty");
+        let (first, last) = self.endpoints();
         last.hbm_capacity_gib / first.hbm_capacity_gib
     }
 
     /// Growth multiple of interconnect bandwidth between the first and last
     /// generation.
     pub fn interconnect_growth(&self) -> f64 {
-        let first = self.generations.first().expect("catalog not empty");
-        let last = self.generations.last().expect("catalog not empty");
+        let (first, last) = self.endpoints();
         last.interconnect_bandwidth_gbps / first.interconnect_bandwidth_gbps
     }
 
     /// Growth multiple of HBM bandwidth between the first and last generation.
     pub fn hbm_bandwidth_growth(&self) -> f64 {
-        let first = self.generations.first().expect("catalog not empty");
-        let last = self.generations.last().expect("catalog not empty");
+        let (first, last) = self.endpoints();
         last.hbm_bandwidth_gbps / first.hbm_bandwidth_gbps
     }
 }
@@ -156,27 +164,27 @@ impl GrowthTrend {
         &self.points
     }
 
+    /// First and last points of the series. The trend is only built from the
+    /// hardcoded five-year window, so both endpoints always exist.
+    fn endpoints(&self) -> (&GrowthPoint, &GrowthPoint) {
+        // recshard-lint: allow(unwrap) -- the series is only built from the
+        // hardcoded non-empty paper window above.
+        let first = self.points.first().expect("non-empty");
+        // recshard-lint: allow(unwrap) -- same invariant.
+        let last = self.points.last().expect("non-empty");
+        (first, last)
+    }
+
     /// Final-over-first growth multiple of model capacity.
     pub fn capacity_growth(&self) -> f64 {
-        self.points.last().expect("non-empty").model_capacity_growth
-            / self
-                .points
-                .first()
-                .expect("non-empty")
-                .model_capacity_growth
+        let (first, last) = self.endpoints();
+        last.model_capacity_growth / first.model_capacity_growth
     }
 
     /// Final-over-first growth multiple of bandwidth demand.
     pub fn bandwidth_growth(&self) -> f64 {
-        self.points
-            .last()
-            .expect("non-empty")
-            .bandwidth_demand_growth
-            / self
-                .points
-                .first()
-                .expect("non-empty")
-                .bandwidth_demand_growth
+        let (first, last) = self.endpoints();
+        last.bandwidth_demand_growth / first.bandwidth_demand_growth
     }
 }
 

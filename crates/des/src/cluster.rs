@@ -680,11 +680,30 @@ impl<'obs> ClusterSimulator<'obs> {
         }
     }
 
+    /// The shared-rate contention state. The gather/exchange/link handlers
+    /// below are only reachable from events that shared-rate mode itself
+    /// schedules, so inside them the state is always present; funnelling
+    /// every access through these two accessors keeps that invariant in one
+    /// audited place.
+    fn contention(&self) -> &Contention {
+        // recshard-lint: allow(unwrap) -- only called from shared-rate event
+        // handlers, which exist only when contention was constructed.
+        self.contention.as_ref().expect("shared-rate mode")
+    }
+
+    /// Mutable form of [`contention`](Self::contention); same invariant.
+    fn contention_mut(&mut self) -> &mut Contention {
+        // recshard-lint: allow(unwrap) -- same invariant as `contention`.
+        self.contention.as_mut().expect("shared-rate mode")
+    }
+
     /// The workload's current effective model: the base model adjusted for
     /// the drift schedule's month, with the scenario's applied shifts
     /// layered on top.
     fn effective_model(&self) -> ModelSpec {
         let mut model = if self.current_month > 0 {
+            // recshard-lint: allow(unwrap) -- current_month only advances in
+            // handle_arrival when a drift schedule is present.
             let drift = self.drift.as_ref().expect("month advanced without drift");
             drift
                 .drift
@@ -821,7 +840,7 @@ impl<'obs> ClusterSimulator<'obs> {
     /// Launch overhead elapsed (shared-rate mode): the GPU's HBM gather
     /// share enters contention; its UVM share follows serially.
     fn handle_gather_start(&mut self, iter: u64, gpu: usize) {
-        let contention = self.contention.as_ref().expect("shared-rate mode");
+        let contention = self.contention();
         let hbm_ns = contention.gathers[&(iter, gpu)].demand.hbm_ns;
         let link = contention.hbm_link(gpu);
         self.admit_transfer(
@@ -840,6 +859,8 @@ impl<'obs> ClusterSimulator<'obs> {
         let entry = self
             .in_flight
             .get_mut(&iter)
+            // recshard-lint: allow(unwrap) -- every GpuDone is scheduled from
+            // an arrival that inserted the iteration into in_flight.
             .expect("GpuDone for unknown iteration");
         if entry.remaining_gpus == total {
             entry.first_done = now;
@@ -880,7 +901,7 @@ impl<'obs> ClusterSimulator<'obs> {
     /// phase follows once all local shares have drained.
     fn start_exchange(&mut self, iter: u64) {
         let now = self.queue.now();
-        let contention = self.contention.as_mut().expect("shared-rate mode");
+        let contention = self.contention_mut();
         let num_gpus = contention.num_gpus;
         contention.exchanges.insert(
             iter,
@@ -890,7 +911,7 @@ impl<'obs> ClusterSimulator<'obs> {
             },
         );
         for gpu in 0..num_gpus {
-            let contention = self.contention.as_ref().expect("shared-rate mode");
+            let contention = self.contention();
             let link = contention.nvlink_link(gpu);
             let work_ns = contention.local_work_ns[gpu];
             self.admit_transfer(
@@ -908,11 +929,13 @@ impl<'obs> ClusterSimulator<'obs> {
     /// is admitted on the *receiver's* fabric port, so all inbound flows to
     /// one node contend there (incast).
     fn start_remote_phase(&mut self, iter: u64) {
-        let contention = self.contention.as_mut().expect("shared-rate mode");
+        let contention = self.contention_mut();
         let n = contention.topology.num_nodes;
         let state = contention
             .exchanges
             .get_mut(&iter)
+            // recshard-lint: allow(unwrap) -- the local phase that triggers
+            // the remote phase only runs for a registered exchange.
             .expect("remote phase for unknown exchange");
         state.pending = (n * (n - 1)) as u32;
         for src in 0..n {
@@ -920,7 +943,7 @@ impl<'obs> ClusterSimulator<'obs> {
                 if src == dst {
                     continue;
                 }
-                let contention = self.contention.as_ref().expect("shared-rate mode");
+                let contention = self.contention();
                 let link = contention.fabric_link(dst);
                 let work_ns = contention.remote_work_ns[src][dst];
                 self.admit_transfer(
@@ -939,11 +962,13 @@ impl<'obs> ClusterSimulator<'obs> {
     /// on top of the contended transfer phases.
     fn finish_exchange(&mut self, iter: u64) {
         let now = self.queue.now();
-        let contention = self.contention.as_mut().expect("shared-rate mode");
+        let contention = self.contention_mut();
         let latency_ns = contention.latency_ns;
         let state = contention
             .exchanges
             .remove(&iter)
+            // recshard-lint: allow(unwrap) -- reached only when the exchange's
+            // last pending transfer completed, so the entry still exists.
             .expect("finished an unknown exchange");
         if self.obs.enabled() {
             self.obs.record(
@@ -966,11 +991,11 @@ impl<'obs> ClusterSimulator<'obs> {
     /// generation bump and is skipped when popped.
     fn admit_transfer(&mut self, link: usize, work_ns: u64, transfer: Transfer) {
         let now = self.queue.now();
-        let contention = self.contention.as_mut().expect("shared-rate mode");
+        let contention = self.contention_mut();
         let completed = contention.links[link].advance(now.as_ns());
         contention.links[link].admit(now.as_ns(), work_ns, transfer);
         if self.obs.enabled() {
-            let contention = self.contention.as_ref().expect("shared-rate mode");
+            let contention = self.contention();
             let (kind, device) = contention.link_kind(link);
             let tenants = contention.links[link].tenants() as u32;
             self.obs.record(
@@ -991,7 +1016,7 @@ impl<'obs> ClusterSimulator<'obs> {
     /// Schedules a wake-up at the link's earliest projected completion,
     /// stamped with the current generation.
     fn schedule_link_wakeup(&mut self, link: usize) {
-        let contention = self.contention.as_ref().expect("shared-rate mode");
+        let contention = self.contention();
         if let Some(delay) = contention.links[link].next_completion_delay() {
             let generation = contention.links[link].generation();
             self.queue
@@ -1004,7 +1029,7 @@ impl<'obs> ClusterSimulator<'obs> {
     /// since the projection and the event is stale.
     fn handle_link_update(&mut self, link: usize, generation: u64) {
         let now = self.queue.now();
-        let contention = self.contention.as_mut().expect("shared-rate mode");
+        let contention = self.contention_mut();
         if contention.links[link].generation() != generation {
             return;
         }
@@ -1025,7 +1050,7 @@ impl<'obs> ClusterSimulator<'obs> {
     fn transfer_done(&mut self, link: usize, done: CompletedTransfer<Transfer>) {
         let now = self.queue.now();
         if self.obs.enabled() {
-            let contention = self.contention.as_ref().expect("shared-rate mode");
+            let contention = self.contention();
             let (kind, device) = contention.link_kind(link);
             self.obs.record(
                 done.completed_ns,
@@ -1043,7 +1068,7 @@ impl<'obs> ClusterSimulator<'obs> {
         let Transfer { iter, stage } = done.payload;
         match stage {
             TransferStage::Hbm { gpu } => {
-                let contention = self.contention.as_ref().expect("shared-rate mode");
+                let contention = self.contention();
                 let uvm_ns = contention.gathers[&(iter, gpu)].demand.uvm_ns;
                 let uvm_link = contention.uvm_link(gpu);
                 self.admit_transfer(
@@ -1056,10 +1081,12 @@ impl<'obs> ClusterSimulator<'obs> {
                 );
             }
             TransferStage::Uvm { gpu } => {
-                let contention = self.contention.as_mut().expect("shared-rate mode");
+                let contention = self.contention_mut();
                 let job = contention
                     .gathers
                     .remove(&(iter, gpu))
+                    // recshard-lint: allow(unwrap) -- the UVM stage is only
+                    // admitted from the HBM stage of the same gather job.
                     .expect("gather completion without a job");
                 let wait_ns = job.start.since(job.arrival);
                 self.stations[gpu].record_wait_ns(wait_ns);
@@ -1086,10 +1113,12 @@ impl<'obs> ClusterSimulator<'obs> {
                 self.queue.schedule_at(now, Event::GpuDone { iter, gpu });
             }
             TransferStage::Local { .. } => {
-                let contention = self.contention.as_mut().expect("shared-rate mode");
+                let contention = self.contention_mut();
                 let state = contention
                     .exchanges
                     .get_mut(&iter)
+                    // recshard-lint: allow(unwrap) -- local transfers are only
+                    // admitted by start_exchange, which registers the entry.
                     .expect("local completion for unknown exchange");
                 state.pending -= 1;
                 if state.pending == 0 {
@@ -1101,10 +1130,12 @@ impl<'obs> ClusterSimulator<'obs> {
                 }
             }
             TransferStage::Remote { .. } => {
-                let contention = self.contention.as_mut().expect("shared-rate mode");
+                let contention = self.contention_mut();
                 let state = contention
                     .exchanges
                     .get_mut(&iter)
+                    // recshard-lint: allow(unwrap) -- remote transfers are only
+                    // admitted by start_remote_phase for a live exchange.
                     .expect("remote completion for unknown exchange");
                 state.pending -= 1;
                 if state.pending == 0 {
@@ -1118,6 +1149,8 @@ impl<'obs> ClusterSimulator<'obs> {
         let entry = self
             .in_flight
             .remove(&iter)
+            // recshard-lint: allow(unwrap) -- ExchangeDone is scheduled exactly
+            // once per in-flight iteration, after its barrier opened.
             .expect("ExchangeDone for unknown iteration");
         let now = self.queue.now();
         let sojourn_ns = now.since(entry.arrival);

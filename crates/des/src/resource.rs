@@ -161,6 +161,8 @@ impl<T> SharedRateResource<T> {
                 .iter()
                 .map(|t| t.remaining)
                 .min()
+                // recshard-lint: allow(unwrap) -- the empty case broke out of
+                // the loop just above.
                 .expect("non-empty tenant set");
             // Nanoseconds until the earliest tenant would finish at the
             // current share; ≥ 1 because min_remaining > 0 here.

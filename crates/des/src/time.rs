@@ -57,6 +57,8 @@ impl SimTime {
     pub fn since(&self, earlier: SimTime) -> u64 {
         self.0
             .checked_sub(earlier.0)
+            // recshard-lint: allow(unwrap) -- documented panic: a reversed
+            // interval is a causality bug, not a recoverable condition.
             .expect("SimTime::since called with a later timestamp")
     }
 

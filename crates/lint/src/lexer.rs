@@ -1,0 +1,501 @@
+//! A hand-rolled Rust lexer, just deep enough for lint-grade analysis.
+//!
+//! The workspace has no crates.io access, so `syn` is off the table; the
+//! rules in [`crate::rules`] instead pattern-match over this token stream.
+//! The lexer therefore has one job above all: *never* mistake the inside of
+//! a string literal or a comment for code (our own rule fixtures embed
+//! violating code in raw strings), and never mistake a lifetime for an
+//! unterminated char literal. Everything else — precise spans, numeric
+//! values, keyword classification — is intentionally out of scope.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `as`, `HashMap`, ...).
+    Ident,
+    /// A single punctuation character. Multi-character operators arrive as
+    /// consecutive tokens (`::` is `:` then `:`), which keeps matching
+    /// simple and unambiguous.
+    Punct,
+    /// String literal (cooked, raw, byte or raw-byte); `text` is the
+    /// *content*, with the quotes and any `r#`/`b` prefix stripped.
+    Str,
+    /// Character or byte literal; `text` keeps the escape spelling.
+    Char,
+    /// Numeric literal, underscores/suffixes included.
+    Num,
+    /// A lifetime such as `'a` or `'static` (without the quote).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what is stripped).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), kept out of the code token stream but
+/// preserved for allow-annotation and justification-comment parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// Whether this was a `/* ... */` block comment.
+    pub block: bool,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs (string,
+/// block comment) consume to end of input rather than erroring: for lint
+/// purposes a file that far gone will fail `rustc` anyway.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.cooked_string(0);
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else if self.raw_string_ahead() {
+                self.raw_string();
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                // Byte literal b'x'.
+                let line = self.line;
+                self.bump(); // b
+                self.char_literal(line);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.cooked_string(1);
+            } else if c == '_' || c.is_alphabetic() {
+                self.ident();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else {
+                let line = self.line;
+                self.bump();
+                self.push(TokenKind::Punct, c.to_string(), line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            block: false,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            block: true,
+        });
+    }
+
+    /// Cooked string starting `prefix` characters ahead of the opening quote
+    /// (1 for `b"`). Handles escapes and embedded newlines.
+    fn cooked_string(&mut self, prefix: usize) {
+        let line = self.line;
+        for _ in 0..=prefix {
+            self.bump(); // prefix chars + opening quote
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '"' {
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Whether `r"`, `r#"`, `br"` or `br#"` (any number of hashes) starts
+    /// at the cursor.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 0;
+        if self.peek(i) == Some('b') {
+            i += 1;
+        }
+        if self.peek(i) != Some('r') {
+            return false;
+        }
+        i += 1;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self) {
+        let line = self.line;
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // Candidate terminator: needs `hashes` following '#'s.
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// At a `'`: disambiguates char literals from lifetimes. `'\...'` and
+    /// `'x'` are chars; `'ident` not followed by a closing quote is a
+    /// lifetime (`'a`, `'static`, `'_`).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        if self.peek(1) == Some('\\') || self.peek(2) == Some('\'') {
+            self.char_literal(line);
+            return;
+        }
+        // Lifetime.
+        self.bump(); // quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Lifetime, text, line);
+    }
+
+    /// At the opening `'` of a (possibly escaped) char literal.
+    fn char_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '\'' {
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let radix_prefixed =
+            self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('b') | Some('o'));
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the literal; `0..10` does not (the second
+                // char of `..` is not a digit).
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && !radix_prefixed
+                && text.chars().last().is_some_and(|p| p == 'e' || p == 'E')
+            {
+                // Exponent sign of a decimal float (`1.0e-3`); hex literals
+                // like `0x1E` never absorb a following operator.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x = a.iter::<u64>();");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "a", ".", "iter", ":", ":", "<", "u64", ">", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn numeric_literals_do_not_swallow_ranges_or_hex_subtraction() {
+        let texts: Vec<String> = kinds("0..10").into_iter().map(|(_, t)| t).collect();
+        assert_eq!(texts, ["0", ".", ".", "10"]);
+        let texts: Vec<String> = kinds("0x1E-3").into_iter().map(|(_, t)| t).collect();
+        assert_eq!(texts, ["0x1E", "-", "3"]);
+        let texts: Vec<String> = kinds("1.0e-3+2.5E+7").into_iter().map(|(_, t)| t).collect();
+        assert_eq!(texts, ["1.0e-3", "+", "2.5E+7"]);
+        let texts: Vec<String> = kinds("0xCBF2_9CE4_8422_2325u64")
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(texts, ["0xCBF2_9CE4_8422_2325u64"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_the_token_stream() {
+        let lexed = lex(r#"let s = "x.unwrap() /* not a comment */";"#);
+        assert!(lexed.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(lexed.comments.is_empty());
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string token");
+        assert_eq!(s.text, "x.unwrap() /* not a comment */");
+    }
+
+    #[test]
+    fn escaped_quotes_and_multiline_strings() {
+        let lexed = lex("let s = \"a\\\"b\nc\"; let t = 1;");
+        let s = &lexed.tokens[3];
+        assert_eq!(s.kind, TokenKind::Str);
+        assert_eq!(s.text, "a\\\"b\nc");
+        // The token after the string sits on line 2.
+        let t = lexed.tokens.iter().find(|t| t.text == "t").expect("t");
+        assert_eq!(t.line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "r##\"contains \"# quote and .unwrap()\"## + br\"bytes\"";
+        let lexed = lex(src);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["contains \"# quote and .unwrap()", "bytes"]);
+        assert!(lexed.tokens.iter().all(|t| t.text != "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("a /* outer /* inner */ still comment */ b");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "b"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+        assert!(lexed.comments[0].block);
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let q = '\\''; }");
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["x", "\\n", "\\'"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let lexed = lex("&'static str; &'_ u8; b'z'");
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["static", "_"]);
+        let chars: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["z"]);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lexed =
+            lex("/// outer doc\n//! inner doc\nfn x() {}\n// recshard-lint: allow(unwrap) -- why");
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!(lexed.comments[0].text, "/ outer doc");
+        assert!(lexed.comments[2].text.contains("recshard-lint"));
+        assert_eq!(lexed.comments[2].line, 4);
+    }
+
+    #[test]
+    fn line_numbers_survive_every_construct() {
+        let src = "a\n\"s\ntring\"\n/* c\nomment */\nb";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.text == "b").expect("b");
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof_without_panicking() {
+        let lexed = lex("let s = \"never closed");
+        assert_eq!(lexed.tokens.last().map(|t| t.kind), Some(TokenKind::Str));
+    }
+}

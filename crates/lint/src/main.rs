@@ -1,0 +1,175 @@
+//! CLI for `recshard-lint`. See `--help`.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use recshard_lint::diag::{render_human, render_json, Baseline};
+use recshard_lint::{rules, scan};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+recshard-lint — workspace determinism & robustness static analysis
+
+USAGE:
+    cargo run -p recshard-lint -- [OPTIONS]
+
+OPTIONS:
+    --check              Exit non-zero on violations beyond the committed
+                         baseline, or on stale baseline entries.
+    --update-baseline    Rewrite lint-baseline.txt from the current scan.
+    --json <PATH>        Also write the diagnostics report as JSON.
+    --root <DIR>         Workspace root (default: auto-detected from the
+                         manifest dir, else the current directory).
+    --list-rules         Print the rule table and exit.
+    --help               This text.
+";
+
+struct Options {
+    check: bool,
+    update_baseline: bool,
+    json: Option<PathBuf>,
+    root: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        check: false,
+        update_baseline: false,
+        json: None,
+        root: None,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => opts.check = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--json" => {
+                let p = args.next().ok_or("--json needs a path")?;
+                opts.json = Some(PathBuf::from(p));
+            }
+            "--root" => {
+                let p = args.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(p));
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The workspace root: `--root`, else two levels up from this crate's
+/// manifest (crates/lint → workspace), else the current directory.
+fn workspace_root(opts: &Options) -> PathBuf {
+    if let Some(r) = &opts.root {
+        return r.clone();
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn list_rules() {
+    println!("{:<16} {:<6} SUMMARY", "RULE", "TESTS");
+    for r in rules::RULES {
+        println!(
+            "{:<16} {:<6} {}",
+            r.name,
+            if r.include_tests { "yes" } else { "no" },
+            r.summary
+        );
+        println!("{:16} {:6} invariant: {}", "", "", r.invariant);
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+    let root = workspace_root(&opts);
+
+    if opts.update_baseline {
+        let diags = match scan::scan_workspace(&root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let text = Baseline::render(&diags);
+        let path = root.join(scan::BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} grandfathered violation{})",
+            path.display(),
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match scan::check(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(json_path) = &opts.json {
+        let json = render_json(&report.new, &report.baselined, &report.stale);
+        if let Err(e) = std::fs::write(json_path, json) {
+            eprintln!("error: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for d in &report.new {
+        println!("{}", render_human(d));
+    }
+    for s in &report.stale {
+        println!("stale baseline entry: {s}");
+    }
+    if !opts.check {
+        // Informational mode: show the grandfathered tail too.
+        for d in &report.baselined {
+            println!("[baselined] {}", render_human(d));
+        }
+    }
+    println!(
+        "recshard-lint: {} new, {} baselined, {} stale baseline entr{}",
+        report.new.len(),
+        report.baselined.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" }
+    );
+
+    if opts.check && !report.ok() {
+        eprintln!(
+            "recshard-lint --check failed: fix the violations, annotate them with \
+             `// recshard-lint: allow(rule) -- reason`, or (for deliberate ratchets) \
+             regenerate the baseline with --update-baseline"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

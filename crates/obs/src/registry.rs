@@ -159,15 +159,20 @@ impl MetricsRegistry {
         h.counts[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Locks one quantile stripe. No writer panics while holding a stripe
+    /// lock, so poisoning only follows a panic that already tore down the
+    /// run; every acquisition goes through here.
+    fn lock_cdf(cdf: &Mutex<StreamingCdf>) -> std::sync::MutexGuard<'_, StreamingCdf> {
+        // recshard-lint: allow(unwrap) -- see above: poisoning implies a
+        // prior panic, and propagating it is the only option.
+        cdf.lock().expect("quantile stripe poisoned")
+    }
+
     /// Streams one observation into a quantile sink. Takes that metric's
     /// stripe lock only.
     #[inline]
     pub fn record(&self, id: QuantileId, value: f64) {
-        self.quantiles[id.0]
-            .1
-            .lock()
-            .expect("quantile stripe poisoned")
-            .push(value);
+        Self::lock_cdf(&self.quantiles[id.0].1).push(value);
     }
 
     /// Current value of a counter.
@@ -182,10 +187,7 @@ impl MetricsRegistry {
 
     /// Snapshot of one quantile sink.
     pub fn quantile_stats(&self, id: QuantileId) -> QuantileStats {
-        let cdf = self.quantiles[id.0]
-            .1
-            .lock()
-            .expect("quantile stripe poisoned");
+        let cdf = Self::lock_cdf(&self.quantiles[id.0].1);
         Self::stats_of(&cdf)
     }
 
@@ -225,7 +227,7 @@ impl MetricsRegistry {
             ));
         }
         for (name, cdf) in &self.quantiles {
-            let cdf = cdf.lock().expect("quantile stripe poisoned");
+            let cdf = Self::lock_cdf(cdf);
             entries.push((name.clone(), MetricValue::Quantile(Self::stats_of(&cdf))));
         }
         entries.sort_by(|a, b| a.0.cmp(&b.0));

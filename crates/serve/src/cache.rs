@@ -334,7 +334,7 @@ impl ShardedCache {
         };
         for &(table, row, bytes) in guide.pins() {
             let idx = self.stripe_of(table, row);
-            let mut stripe = self.stripes[idx].lock().expect("stripe poisoned");
+            let mut stripe = self.stripe(idx);
             let pin_budget = (stripe.capacity as f64 * guide.pin_fraction()) as u64;
             if stripe.stats.pinned_bytes + bytes <= pin_budget
                 && stripe.stats.used_bytes + bytes <= stripe.capacity
@@ -348,6 +348,16 @@ impl ShardedCache {
     /// The policy this cache evicts with.
     pub fn policy(&self) -> PolicyKind {
         self.policy
+    }
+
+    /// Locks stripe `idx`. The per-shard serving loop is the only writer and
+    /// never panics while holding a stripe lock, so poisoning only follows a
+    /// panic that already aborted the simulation; every lock acquisition is
+    /// funnelled through here to keep that reasoning in one place.
+    fn stripe(&self, idx: usize) -> std::sync::MutexGuard<'_, Stripe> {
+        // recshard-lint: allow(unwrap) -- see above: poisoning implies a
+        // worker already panicked, and propagating is the only option.
+        self.stripes[idx].lock().expect("stripe poisoned")
     }
 
     #[inline]
@@ -365,22 +375,22 @@ impl ShardedCache {
     /// from UVM (and possibly admitted for next time).
     pub fn access(&self, table: u32, row: u64, bytes: u64) -> Lookup {
         let idx = self.stripe_of(table, row);
-        let mut stripe = self.stripes[idx].lock().expect("stripe poisoned");
+        let mut stripe = self.stripe(idx);
         stripe.access(self.policy, self.guide.as_ref(), table, row, bytes)
     }
 
     /// Whether a row is currently resident in HBM (does not touch recency).
     pub fn contains(&self, table: u32, row: u64) -> bool {
         let idx = self.stripe_of(table, row);
-        let stripe = self.stripes[idx].lock().expect("stripe poisoned");
+        let stripe = self.stripe(idx);
         stripe.map.contains_key(&(table, row))
     }
 
     /// Aggregated counters across all stripes.
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
-        for s in &self.stripes {
-            total.merge(&s.lock().expect("stripe poisoned").stats);
+        for i in 0..self.stripes.len() {
+            total.merge(&self.stripe(i).stats);
         }
         total
     }
@@ -388,9 +398,8 @@ impl ShardedCache {
     /// Total capacity across all stripes, in bytes. Always equals the
     /// configured [`CacheConfig::capacity_bytes`], stripe count regardless.
     pub fn capacity_bytes(&self) -> u64 {
-        self.stripes
-            .iter()
-            .map(|s| s.lock().expect("stripe poisoned").capacity)
+        (0..self.stripes.len())
+            .map(|i| self.stripe(i).capacity)
             .sum()
     }
 }
@@ -557,11 +566,7 @@ mod tests {
         // first stripes and `capacity_bytes()` must report the exact total.
         let c = ShardedCache::new(PolicyKind::Lru, CacheConfig::new(103).with_stripes(8));
         assert_eq!(c.capacity_bytes(), 103);
-        let per_stripe: Vec<u64> = c
-            .stripes
-            .iter()
-            .map(|s| s.lock().expect("stripe poisoned").capacity)
-            .collect();
+        let per_stripe: Vec<u64> = (0..c.stripes.len()).map(|i| c.stripe(i).capacity).collect();
         assert_eq!(per_stripe.iter().sum::<u64>(), 103);
         assert!(per_stripe.iter().all(|&c| c == 12 || c == 13));
         assert_eq!(per_stripe.iter().filter(|&&c| c == 13).count(), 7);

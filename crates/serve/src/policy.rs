@@ -164,6 +164,8 @@ impl StatGuide {
         Self {
             pins,
             admit: admit
+                // recshard-lint: allow(hash-iter) -- elements go straight into
+                // a map keyed by table id; per-element visit order is absorbed.
                 .into_iter()
                 .map(|(t, rows)| (t, rows.into_iter().collect()))
                 .collect(),

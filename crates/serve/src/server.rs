@@ -348,6 +348,8 @@ impl InferenceServer {
                 .map(|(gpu, ((tasks, cache), &hop_ns))| {
                     let arrivals = &stream.arrivals_ns;
                     let row_bytes = &row_bytes;
+                    // recshard-lint: allow(thread-fanin) -- workers share no
+                    // mutable state and are joined in shard-index order below.
                     scope.spawn(move || {
                         Self::run_shard(
                             tasks, cache, arrivals, row_bytes, system, gpu, &config, hop_ns, traced,
@@ -356,6 +358,8 @@ impl InferenceServer {
                 })
                 .collect();
             for h in handles {
+                // recshard-lint: allow(unwrap) -- a panicked worker already
+                // aborted the simulation; propagating it is the only option.
                 runs.push(h.join().expect("shard worker panicked"));
             }
         });

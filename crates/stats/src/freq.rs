@@ -1,16 +1,21 @@
 //! Per-row access frequency accumulation.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Access counts per embedding row (post-hash), for one table.
 ///
 /// Only rows that were actually accessed are stored; the (typically large)
 /// remainder of the hash space implicitly has count zero, which is exactly
 /// the under-utilisation RecShard exploits (Section 3.4).
+///
+/// Counts live in a `BTreeMap` so that [`iter`](Self::iter) yields rows in
+/// ascending order: frequency maps feed table fingerprints and sampled-CDF
+/// construction, and an ordered walk keeps those paths bit-deterministic
+/// without a sort-before-emit at every call site.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FrequencyMap {
-    counts: HashMap<u64, u64>,
+    counts: BTreeMap<u64, u64>,
     total: u64,
 }
 
@@ -58,7 +63,7 @@ impl FrequencyMap {
         self.counts.get(&row).copied().unwrap_or(0)
     }
 
-    /// Iterates over `(row, count)` pairs in unspecified order.
+    /// Iterates over `(row, count)` pairs in ascending row order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts.iter().map(|(&r, &c)| (r, c))
     }

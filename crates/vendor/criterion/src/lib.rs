@@ -10,6 +10,8 @@
 //! times to stdout. No statistical analysis, plots or regression detection.
 
 #![deny(missing_docs)]
+// A bench harness reports on stdout; that is its interface.
+#![allow(clippy::print_stdout)]
 
 use std::time::{Duration, Instant};
 

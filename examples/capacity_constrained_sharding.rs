@@ -5,6 +5,7 @@
 //! Run with
 //! `cargo run --release -p recshard-bench --example capacity_constrained_sharding`.
 
+#![allow(clippy::print_stdout)]
 use recshard::analysis::PlanComparison;
 use recshard::{RecShard, RecShardConfig};
 use recshard_bench::{ExperimentConfig, Strategy};

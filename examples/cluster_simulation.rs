@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run --release --example cluster_simulation`.
 
+#![allow(clippy::print_stdout)]
 use recshard::{RecShard, RecShardConfig};
 use recshard_bench::Strategy;
 use recshard_data::ModelSpec;

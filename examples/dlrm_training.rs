@@ -5,6 +5,7 @@
 //!
 //! Run with `cargo run --release -p recshard-bench --example dlrm_training`.
 
+#![allow(clippy::print_stdout)]
 use recshard::analysis::amdahl_end_to_end_speedup;
 use recshard::{RecShard, RecShardConfig};
 use recshard_data::{ModelSpec, SampleGenerator};

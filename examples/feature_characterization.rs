@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run --release -p recshard-bench --example feature_characterization`.
 
+#![allow(clippy::print_stdout)]
 use recshard::hash_size_sweep;
 use recshard_data::{DriftModel, FeatureClass, ModelSpec};
 use recshard_stats::DatasetProfiler;

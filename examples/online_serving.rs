@@ -10,6 +10,7 @@
 //!
 //! Run with: `cargo run --release --example online_serving`
 
+#![allow(clippy::print_stdout)]
 use recshard::{RecShard, RecShardConfig};
 use recshard_data::ModelSpec;
 use recshard_serve::{hash_placement, ArrivalModel, InferenceServer, PolicyKind, ServeConfig};

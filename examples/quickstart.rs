@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run --release -p recshard-bench --example quickstart`.
 
+#![allow(clippy::print_stdout)]
 use recshard::{RecShard, RecShardConfig};
 use recshard_data::ModelSpec;
 use recshard_memsim::{EmbeddingOpSimulator, SimConfig};
